@@ -1,0 +1,69 @@
+package repro
+
+// One benchmark per figure of the paper's evaluation (figs. 7-18). Each
+// runs the full two-system comparison (SCDA vs RandTCP) at a reduced
+// scale that preserves load ratios, and reports the headline summary
+// numbers as custom benchmark metrics so `go test -bench` output doubles
+// as the reproduction table. EXPERIMENTS.md records paper-vs-measured.
+//
+// Use cmd/scda-bench for paper-scale runs and CSV series output.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale keeps a full figure run around a second so the whole suite
+// completes in minutes; ratios (load vs capacity) match the paper.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Duration: 10, BWScale: 0.05, ArrivalScale: 0.05, Seed: 1}
+}
+
+func benchFigure(b *testing.B, fn func(experiments.Scale) (experiments.FigureResult, error)) {
+	b.Helper()
+	var last experiments.FigureResult
+	for i := 0; i < b.N; i++ {
+		experiments.ClearScenarioCache() // measure the full simulation
+		sc := benchScale()
+		sc.Seed = uint64(i + 1)
+		f, err := fn(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	for k, v := range last.Summary {
+		b.ReportMetric(v, k)
+	}
+}
+
+func BenchmarkFig07VideoThroughput(b *testing.B)      { benchFigure(b, experiments.Fig07) }
+func BenchmarkFig08VideoFCTCDF(b *testing.B)          { benchFigure(b, experiments.Fig08) }
+func BenchmarkFig09VideoAFCT(b *testing.B)            { benchFigure(b, experiments.Fig09) }
+func BenchmarkFig10VideoNoCtlThroughput(b *testing.B) { benchFigure(b, experiments.Fig10) }
+func BenchmarkFig11VideoNoCtlFCTCDF(b *testing.B)     { benchFigure(b, experiments.Fig11) }
+func BenchmarkFig12VideoNoCtlAFCT(b *testing.B)       { benchFigure(b, experiments.Fig12) }
+func BenchmarkFig13DCK1AFCT(b *testing.B)             { benchFigure(b, experiments.Fig13) }
+func BenchmarkFig14DCK1FCTCDF(b *testing.B)           { benchFigure(b, experiments.Fig14) }
+func BenchmarkFig15DCK3AFCT(b *testing.B)             { benchFigure(b, experiments.Fig15) }
+func BenchmarkFig16DCK3FCTCDF(b *testing.B)           { benchFigure(b, experiments.Fig16) }
+func BenchmarkFig17ParetoThroughput(b *testing.B)     { benchFigure(b, experiments.Fig17) }
+func BenchmarkFig18ParetoFCTCDF(b *testing.B)         { benchFigure(b, experiments.Fig18) }
+
+// BenchmarkAblations runs the eight design-claim validations of DESIGN.md.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Seed = uint64(i + 1)
+		rs, err := experiments.AllAblations(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if !r.Passed {
+				b.Fatalf("%s failed: %+v", r.ID, r.Values)
+			}
+		}
+	}
+}

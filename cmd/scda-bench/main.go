@@ -1,0 +1,127 @@
+// Command scda-bench regenerates the data behind every figure of the
+// SCDA paper's evaluation (figs. 7-18) and runs the design-claim
+// ablations, printing a summary table and writing per-figure CSV series.
+//
+// Usage:
+//
+//	scda-bench [-scale quick|paper] [-figures fig07,fig13] [-ablations]
+//	           [-out results] [-seed 1] [-duration 30]
+//
+// At -scale paper the suite reproduces the published parameters
+// (X=500/200 Mb/s, 100 s horizons) and takes correspondingly longer;
+// quick scale divides bandwidth and arrival rates by 10 so shapes and
+// win factors are preserved at a fraction of the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "quick or paper")
+	figures := flag.String("figures", "all", "comma-separated figure IDs (fig07..fig18) or all")
+	ablations := flag.Bool("ablations", false, "also run the A1-A11 design-claim ablations")
+	sweeps := flag.Bool("sweeps", false, "also run the client-scale and NNS-scale sweeps")
+	out := flag.String("out", "results", "output directory for CSV series")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	duration := flag.Float64("duration", 0, "override simulated horizon in seconds")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "scda-bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+	if *duration > 0 {
+		sc.Duration = *duration
+	}
+
+	ids := experiments.FigureIDs()
+	if *figures != "all" {
+		ids = strings.Split(*figures, ",")
+	}
+
+	fmt.Printf("SCDA reproduction bench — scale=%s duration=%.0fs bw×%.2f arrivals×%.2f seed=%d\n\n",
+		*scale, sc.Duration, sc.BWScale, sc.ArrivalScale, sc.Seed)
+
+	for _, id := range ids {
+		f, err := experiments.Figure(strings.TrimSpace(id), sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		path, err := export.SaveSeries(*out, f.ID, f.Series)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-bench: saving %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s  %s\n", f.ID, f.Title)
+		keys := make([]string, 0, len(f.Summary))
+		for k := range f.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("    %-24s %12.4g\n", k, f.Summary[k])
+		}
+		fmt.Printf("    series -> %s\n\n", path)
+	}
+
+	if *sweeps {
+		fmt.Println("sweeps:")
+		cs, err := experiments.ClientScaleSweep(nil, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-bench: client sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if path, err := export.SaveSeries(*out, cs.ID, cs.Series); err == nil {
+			fmt.Printf("  %s -> %s\n", cs.Title, path)
+		}
+		ns, err := experiments.NNSScaleSweep(nil, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-bench: nns sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if path, err := export.SaveSeries(*out, ns.ID, ns.Series); err == nil {
+			fmt.Printf("  %s -> %s\n", ns.Title, path)
+		}
+		fmt.Println()
+	}
+
+	if *ablations {
+		fmt.Println("ablations (design-claim validations):")
+		rs, err := experiments.AllAblations(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-bench: ablations: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range rs {
+			status := "PASS"
+			if !r.Passed {
+				status = "FAIL"
+			}
+			fmt.Printf("  %s [%s] %s\n", r.ID, status, r.Title)
+			keys := make([]string, 0, len(r.Values))
+			for k := range r.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("      %-24s %12.4g\n", k, r.Values[k])
+			}
+		}
+	}
+}

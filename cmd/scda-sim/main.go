@@ -1,0 +1,110 @@
+// Command scda-sim runs one datacenter scenario — SCDA or the RandTCP
+// baseline — with a chosen workload on the paper's fig. 6 topology and
+// prints the resulting transfer statistics.
+//
+// Usage:
+//
+//	scda-sim [-system scda|randtcp] [-workload video|videonoctl|dc|pareto]
+//	         [-x 500e6] [-k 3] [-duration 30] [-seed 1] [-replicate]
+//	         [-nns 3] [-rscale 0] [-poweraware] [-trace file.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	system := flag.String("system", "scda", "scda or randtcp")
+	wl := flag.String("workload", "dc", "video, videonoctl, dc or pareto")
+	x := flag.Float64("x", 500e6, "base bandwidth X in bits/sec")
+	k := flag.Float64("k", 3, "bandwidth factor K")
+	duration := flag.Float64("duration", 30, "arrival horizon in seconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	replicate := flag.Bool("replicate", false, "internal replication after writes (section VIII-B)")
+	nns := flag.Int("nns", 3, "number of name node servers")
+	rscale := flag.Float64("rscale", 0, "passive-content scale-down threshold in bits/sec (0 = off)")
+	powerAware := flag.Bool("poweraware", false, "power-aware server selection (section VII-D)")
+	trace := flag.String("trace", "", "replay a workload trace CSV instead of generating")
+	flag.Parse()
+
+	var sys cluster.System
+	switch *system {
+	case "scda":
+		sys = cluster.SCDA
+	case "randtcp":
+		sys = cluster.RandTCP
+	default:
+		fmt.Fprintf(os.Stderr, "scda-sim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	cfg := cluster.DefaultConfig(sys)
+	cfg.Topology.X = *x
+	cfg.Topology.K = *k
+	cfg.Seed = *seed
+	cfg.Replicate = *replicate
+	cfg.NumNNS = *nns
+	cfg.Rscale = *rscale
+	cfg.PowerAware = *powerAware
+	cfg.HeterogeneousPower = *powerAware
+
+	var reqs []workload.Request
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
+			os.Exit(1)
+		}
+		reqs, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		var gen workload.Generator
+		switch *wl {
+		case "video":
+			gen = workload.DefaultVideoSpec()
+		case "videonoctl":
+			spec := workload.DefaultVideoSpec()
+			spec.ControlFlows = false
+			gen = spec
+		case "dc":
+			gen = workload.DefaultDCSpec()
+		case "pareto":
+			gen = workload.DefaultParetoSpec()
+		default:
+			fmt.Fprintf(os.Stderr, "scda-sim: unknown workload %q\n", *wl)
+			os.Exit(2)
+		}
+		reqs = gen.Generate(sim.NewRNG(*seed), *duration)
+	}
+
+	c, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
+		os.Exit(1)
+	}
+	st := workload.Summarize(reqs)
+	fmt.Printf("system=%v workload=%s requests=%d totalMB=%.1f X=%.0fMb/s K=%.0f\n",
+		sys, *wl, st.Count, float64(st.TotalBytes)/1e6, *x/1e6, *k)
+
+	m := c.RunWorkload(reqs, *duration*3)
+	cdf := m.FCTCDF()
+	fmt.Printf("started=%d completed=%d drops=%d violations=%d\n",
+		m.Started, m.Completed, m.Drops, m.Violations)
+	if cdf.N() > 0 {
+		fmt.Printf("FCT: mean=%.3fs median=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+			m.MeanFCT(), cdf.Quantile(0.5), cdf.Quantile(0.9), cdf.Quantile(0.99), cdf.Quantile(1))
+	}
+	c.Power.AccrueAll(c.Sim.Now())
+	fmt.Printf("energy=%.1f kJ over %.1f simulated seconds\n",
+		c.Power.TotalEnergy()/1e3, c.Sim.Now())
+}

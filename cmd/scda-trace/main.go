@@ -1,0 +1,70 @@
+// Command scda-trace generates and inspects workload trace files — the
+// repository's stand-in for the paper's YouTube and datacenter traces.
+//
+// Usage:
+//
+//	scda-trace -workload video -duration 100 -seed 1 > video.csv
+//	scda-trace -stats video.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "dc", "video, videonoctl, dc or pareto")
+	duration := flag.Float64("duration", 100, "trace horizon in seconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	statsFile := flag.String("stats", "", "summarise an existing trace file instead of generating")
+	flag.Parse()
+
+	if *statsFile != "" {
+		f, err := os.Open(*statsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		reqs, err := workload.ReadTrace(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-trace: %v\n", err)
+			os.Exit(1)
+		}
+		st := workload.Summarize(reqs)
+		fmt.Printf("requests:      %d\n", st.Count)
+		fmt.Printf("control (<5KB): %d (%.1f%%)\n", st.ControlCount,
+			100*float64(st.ControlCount)/float64(max(st.Count, 1)))
+		fmt.Printf("total bytes:   %d (%.1f MB)\n", st.TotalBytes, float64(st.TotalBytes)/1e6)
+		fmt.Printf("mean size:     %.0f bytes\n", st.MeanBytes)
+		fmt.Printf("max size:      %d bytes\n", st.MaxBytes)
+		fmt.Printf("duration:      %.2f s\n", st.Duration)
+		return
+	}
+
+	var gen workload.Generator
+	switch *wl {
+	case "video":
+		gen = workload.DefaultVideoSpec()
+	case "videonoctl":
+		spec := workload.DefaultVideoSpec()
+		spec.ControlFlows = false
+		gen = spec
+	case "dc":
+		gen = workload.DefaultDCSpec()
+	case "pareto":
+		gen = workload.DefaultParetoSpec()
+	default:
+		fmt.Fprintf(os.Stderr, "scda-trace: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	reqs := gen.Generate(sim.NewRNG(*seed), *duration)
+	if err := workload.WriteTrace(os.Stdout, reqs); err != nil {
+		fmt.Fprintf(os.Stderr, "scda-trace: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "SCDA: SLA-aware
+// Cloud Datacenter Architecture for Efficient Content Storage and
+// Retrieval" (Fesehaye & Nahrstedt, HPDC 2013).
+//
+// The library lives under internal/: a discrete-event packet network
+// simulator (the NS2 stand-in), TCP Reno and the SCDA explicit-rate
+// transport, the RM/RA rate-allocation plane (equations 2-6), the
+// FES/NNS/BS distributed file system, content-aware server selection,
+// power modelling, workload generators, and an experiment harness that
+// regenerates every figure of the paper's evaluation. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,109 @@
+// Deadlines demonstrates section IV-A's claim that SCDA's priority weights
+// can implement earliest-deadline-first scheduling "adaptively and
+// implicitly ... in a distributed manner": three transfers share one
+// bottleneck; under plain max-min fairness the tight-deadline job misses,
+// while EDF weights (℘ ∝ required rate) reorder the allocation so every
+// job meets its deadline.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ratealloc"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+)
+
+type job struct {
+	id       ratealloc.FlowID
+	name     string
+	bits     float64
+	deadline float64
+	edf      *scheduler.EDF
+	finished float64
+}
+
+type zeroReader struct{}
+
+func (zeroReader) QueueBits(topology.LinkID) float64   { return 0 }
+func (zeroReader) ArrivedBits(topology.LinkID) float64 { return 0 }
+
+func run(useEDF bool) []*job {
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Host, "a", 0)
+	b := g.AddNode(topology.Host, "b", 0)
+	l := g.AddDuplex(a, b, 100e6, 1e-3, 1)
+	ctrl, err := ratealloc.NewController(g, zeroReader{}, ratealloc.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	sched := scheduler.New(ctrl)
+	path := []topology.LinkID{l}
+
+	// 95 Mb/s effective capacity; fair sharing gives ~31.7 Mb/s each.
+	// urgent needs 60 Mb over 1.5 s = 40 Mb/s — impossible under fair
+	// sharing, easy under EDF.
+	jobs := []*job{
+		{id: 1, name: "urgent-backup", bits: 60e6, deadline: 1.5},
+		{id: 2, name: "report-upload", bits: 80e6, deadline: 4.0},
+		{id: 3, name: "batch-archive", bits: 120e6, deadline: 8.0},
+	}
+	for _, j := range jobs {
+		if err := ctrl.Register(&ratealloc.Flow{ID: j.id, Path: path}); err != nil {
+			panic(err)
+		}
+		if useEDF {
+			j.edf = &scheduler.EDF{Deadline: j.deadline, BaseRate: 10e6}
+			j.edf.SetRemainingBits(j.bits)
+			sched.Attach(j.id, j.edf)
+		}
+		j.finished = -1
+	}
+	// fluid execution at the allocated rates
+	tau := ctrl.Params.Tau
+	for step := 0; step < 4000; step++ {
+		now := float64(step) * tau
+		ctrl.Tick(now)
+		sched.Step(now)
+		allDone := true
+		for _, j := range jobs {
+			if j.finished >= 0 {
+				continue
+			}
+			allDone = false
+			j.bits -= ctrl.FlowRate(j.id) * tau
+			if j.edf != nil {
+				j.edf.SetRemainingBits(j.bits)
+			}
+			if j.bits <= 0 {
+				j.finished = now + tau
+				ctrl.Unregister(j.id)
+				sched.Detach(j.id)
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	return jobs
+}
+
+func main() {
+	for _, mode := range []struct {
+		name string
+		edf  bool
+	}{{"max-min fair sharing (no policy)", false}, {"EDF via adaptive priorities", true}} {
+		fmt.Printf("%s:\n", mode.name)
+		met := 0
+		for _, j := range run(mode.edf) {
+			status := "MISSED"
+			if j.finished >= 0 && j.finished <= j.deadline {
+				status = "met"
+				met++
+			}
+			fmt.Printf("  %-14s deadline %.1fs  finished %.2fs  [%s]\n",
+				j.name, j.deadline, j.finished, status)
+		}
+		fmt.Printf("  deadlines met: %d/3\n\n", met)
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// FailServer takes a block server out of service at the current simulation
+// time: it is excluded from all future selection, its metadata replicas
+// are dropped, and every orphaned block that still has a surviving replica
+// is re-replicated onto a freshly selected server (an internal VIII-B-style
+// transfer). Blocks whose only copy was on the failed server are counted
+// in Metrics.LostBlocks.
+//
+// This implements the recovery role the paper sketches for the monitoring
+// plane: "the roles of these SCDA components can be extended to constantly
+// monitor the performance of the cloud against malicious attacks or
+// failures".
+func (c *Cluster) FailServer(node topology.NodeID) error {
+	if c.failed[node] {
+		return fmt.Errorf("cluster: server %d already failed", node)
+	}
+	if c.FES.BlockServer(node) == nil {
+		return fmt.Errorf("cluster: %d is not a block server", node)
+	}
+	c.failed[node] = true
+	if c.Ctrl != nil {
+		// the RM stops advertising the server: its R_other collapses
+		c.Ctrl.SetHostOther(node, c.Cfg.Alloc.MinRate)
+	}
+	if c.Random != nil {
+		kept := c.Random.Servers[:0:0]
+		for _, s := range c.Random.Servers {
+			if s != node {
+				kept = append(kept, s)
+			}
+		}
+		c.Random.Servers = kept
+	}
+	orphans, err := c.FES.FailServer(node)
+	if err != nil {
+		return err
+	}
+	for _, o := range orphans {
+		if len(o.Survivors) == 0 {
+			c.Metrics.LostBlocks++
+			continue
+		}
+		src := o.Survivors[0]
+		target, err := c.pickRecoveryTarget(o.Survivors, o.Size)
+		if err != nil {
+			c.Metrics.UnrecoveredBlocks++
+			continue
+		}
+		if err := c.FES.AddReplica(o.ID, target); err != nil {
+			c.Metrics.UnrecoveredBlocks++
+			continue
+		}
+		c.Metrics.ReReplicated++
+		c.startTransfer(src, target, o.Size, workload.Write, true, nil)
+	}
+	return nil
+}
+
+// Failed reports whether a server has been failed.
+func (c *Cluster) Failed(node topology.NodeID) bool { return c.failed[node] }
+
+// pickRecoveryTarget selects a re-replication destination excluding failed
+// servers and existing replica holders.
+func (c *Cluster) pickRecoveryTarget(holders []topology.NodeID, size int64) (topology.NodeID, error) {
+	holding := make(map[topology.NodeID]bool, len(holders))
+	for _, h := range holders {
+		holding[h] = true
+	}
+	f := func(n topology.NodeID) bool {
+		if c.failed[n] || holding[n] {
+			return false
+		}
+		bs := c.FES.BlockServer(n)
+		return bs != nil && bs.CanStore(size)
+	}
+	if c.Cfg.System == SCDA {
+		// recovery wants a fast-write target: best down-link rate
+		return c.Picker.PickWrite(c.Hier.Root(), 0, f, c.Sim.Now())
+	}
+	return c.Random.PickWrite(f)
+}
+
+// aliveFilter excludes failed servers from a replica list.
+func (c *Cluster) aliveReplicas(replicas []topology.NodeID) []topology.NodeID {
+	if len(c.failed) == 0 {
+		return replicas
+	}
+	alive := make([]topology.NodeID, 0, len(replicas))
+	for _, r := range replicas {
+		if !c.failed[r] {
+			alive = append(alive, r)
+		}
+	}
+	return alive
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/workload"
+)
+
+// populate writes n contents with replication and drains the simulation.
+func populate(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		err := c.SubmitWrite(workload.Request{
+			Client:  i % len(c.TT.Clients),
+			Content: content.ID("f" + string(rune('a'+i))),
+			Size:    200_000,
+			Class:   content.SemiInteractive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sim.RunUntil(60)
+}
+
+func TestFailServerReReplicates(t *testing.T) {
+	cfg := smallConfig(SCDA)
+	cfg.Replicate = true
+	c := mustNew(t, cfg)
+	populate(t, c, 6)
+
+	// find a server holding at least one block
+	var victim = c.TT.Servers[0]
+	found := false
+	for _, s := range c.TT.Servers {
+		if c.FES.BlockServer(s).NumBlocks() > 0 {
+			victim = s
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no server holds blocks")
+	}
+	if err := c.FailServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Failed(victim) {
+		t.Fatal("server not marked failed")
+	}
+	c.Sim.RunUntil(c.Sim.Now() + 60)
+
+	if c.Metrics.ReReplicated == 0 {
+		t.Fatal("no blocks re-replicated")
+	}
+	if c.Metrics.LostBlocks != 0 {
+		t.Fatalf("%d blocks lost despite replication", c.Metrics.LostBlocks)
+	}
+	// every content still has 2 replicas, none on the victim
+	for _, id := range c.FES.Contents() {
+		meta, err := c.FES.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range meta.Blocks {
+			if len(b.Replicas) < 2 {
+				t.Fatalf("%v has %d replicas after recovery", b.ID, len(b.Replicas))
+			}
+			for _, r := range b.Replicas {
+				if r == victim {
+					t.Fatalf("%v still lists the failed server", b.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestFailServerWithoutReplicationLosesBlocks(t *testing.T) {
+	cfg := smallConfig(SCDA)
+	cfg.Replicate = false
+	c := mustNew(t, cfg)
+	populate(t, c, 6)
+	var victim = c.TT.Servers[0]
+	for _, s := range c.TT.Servers {
+		if c.FES.BlockServer(s).NumBlocks() > 0 {
+			victim = s
+			break
+		}
+	}
+	if err := c.FailServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics.LostBlocks == 0 {
+		t.Fatal("single-replica blocks not reported lost")
+	}
+}
+
+func TestFailedServerExcludedFromPlacement(t *testing.T) {
+	cfg := smallConfig(SCDA)
+	c := mustNew(t, cfg)
+	victim := c.TT.Servers[0]
+	if err := c.FailServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.SubmitWrite(workload.Request{
+			Client: 0, Content: content.ID("post-fail-" + string(rune('0'+i))), Size: 50_000,
+		})
+	}
+	c.Sim.RunUntil(c.Sim.Now() + 30)
+	if got := c.FES.BlockServer(victim).NumBlocks(); got != 0 {
+		t.Fatalf("failed server received %d new blocks", got)
+	}
+}
+
+func TestFailServerErrors(t *testing.T) {
+	c := mustNew(t, smallConfig(SCDA))
+	if err := c.FailServer(c.TT.Clients[0]); err == nil {
+		t.Fatal("failing a client accepted")
+	}
+	if err := c.FailServer(c.TT.Servers[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailServer(c.TT.Servers[0]); err == nil {
+		t.Fatal("double failure accepted")
+	}
+}
+
+func TestReadsAvoidFailedReplica(t *testing.T) {
+	cfg := smallConfig(RandTCP)
+	cfg.Replicate = true
+	c := mustNew(t, cfg)
+	if err := c.SubmitWrite(workload.Request{Client: 0, Content: "x", Size: 100_000, Class: content.SemiInteractive}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(60)
+	meta, err := c.FES.Lookup("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := meta.Blocks[0].Replicas[0]
+	if err := c.FailServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(c.Sim.Now() + 30)
+	done := c.Metrics.Completed
+	if err := c.SubmitRead(workload.Request{Client: 1, Content: "x", Op: workload.Read}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(c.Sim.Now() + 60)
+	if c.Metrics.Completed != done+1 {
+		t.Fatal("read did not complete from surviving replica")
+	}
+}
+
+func TestHostResourcesLimitSelectionAndRates(t *testing.T) {
+	cfg := smallConfig(SCDA)
+	cfg.ServerCPURate = 5e6 // CPU-bound fleet: 5 Mb/s service per server
+	c := mustNew(t, cfg)
+	if c.Hosts == nil {
+		t.Fatal("host resource model not built")
+	}
+	if err := c.SubmitWrite(workload.Request{Client: 0, Content: "cpu", Size: 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(60)
+	if c.Metrics.Completed != 1 {
+		t.Fatal("transfer incomplete")
+	}
+	fct := c.Metrics.Records[0].FCT
+	// 8 Mb at 5 Mb/s ≥ 1.6 s: the CPU, not the 100 Mb/s link, binds
+	if fct < 1.5 {
+		t.Fatalf("fct %v too fast for a 5 Mb/s CPU-bound server", fct)
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestConservationInvariant checks end-to-end byte accounting: every
+// completed external flow's size must have crossed the network at least
+// once (delivered payload ≥ sum of completed sizes; retransmissions and
+// replication can only add).
+func TestConservationInvariant(t *testing.T) {
+	for _, sys := range []System{SCDA, RandTCP} {
+		cfg := smallConfig(sys)
+		cfg.Replicate = true
+		c := mustNew(t, cfg)
+		spec := workload.DefaultDCSpec()
+		spec.ArrivalRate = 15
+		spec.Clients = 10
+		reqs := spec.Generate(sim.NewRNG(5), 5)
+		m := c.RunWorkload(reqs, 60)
+		var completedBytes int64
+		for _, r := range m.Records {
+			completedBytes += r.Size
+		}
+		var deliveredBits float64
+		for _, p := range m.ThptBins.Sums() {
+			deliveredBits += p.Y
+		}
+		if deliveredBits < float64(completedBytes)*8 {
+			t.Fatalf("%v: delivered %v bits < completed %v bits",
+				sys, deliveredBits, completedBytes*8)
+		}
+	}
+}
+
+// TestMixedWorkloadEndToEnd drives the full write/replicate/read pipeline
+// (sections VIII-A/B/C) with Zipf-popular reads on both systems.
+func TestMixedWorkloadEndToEnd(t *testing.T) {
+	for _, sys := range []System{SCDA, RandTCP} {
+		cfg := smallConfig(sys)
+		cfg.Replicate = true
+		c := mustNew(t, cfg)
+		spec := workload.DefaultMixedSpec()
+		spec.Clients = 10
+		spec.WriteRate = 3
+		reqs := spec.Generate(sim.NewRNG(8), 8)
+		m := c.RunWorkload(reqs, 90)
+		reads, writes := 0, 0
+		for _, r := range m.Records {
+			if r.Internal {
+				continue
+			}
+			if r.Op == workload.Read {
+				reads++
+			} else {
+				writes++
+			}
+		}
+		if writes == 0 || reads == 0 {
+			t.Fatalf("%v: writes=%d reads=%d", sys, writes, reads)
+		}
+		if frac := float64(m.Completed) / float64(m.Started); frac < 0.9 {
+			t.Fatalf("%v: completion %v", sys, frac)
+		}
+	}
+}
+
+// TestStressManyFlows pushes ~1500 flows through the tree and checks the
+// system stays stable (completions, no runaway drops, bounded FCT tail).
+func TestStressManyFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	cfg := DefaultConfig(SCDA)
+	c := mustNew(t, cfg)
+	spec := workload.DefaultDCSpec()
+	spec.Clients = cfg.Topology.Clients
+	reqs := spec.Generate(sim.NewRNG(13), 25) // ≈1500 requests
+	m := c.RunWorkload(reqs, 120)
+	if m.Started < 1000 {
+		t.Fatalf("only %d flows started", m.Started)
+	}
+	if frac := float64(m.Completed) / float64(m.Started); frac < 0.99 {
+		t.Fatalf("completion fraction %v", frac)
+	}
+	cdf := m.FCTCDF()
+	if p999 := cdf.Quantile(0.999); p999 > 60 {
+		t.Fatalf("p99.9 FCT %v: starvation", p999)
+	}
+	// drops should be a vanishing fraction of delivered packets
+	if m.Drops > c.Net.Delivered/100 {
+		t.Fatalf("drops %d vs delivered %d", m.Drops, c.Net.Delivered)
+	}
+}
+
+// TestDeterminism: identical seeds must give byte-identical outcomes.
+func TestDeterminism(t *testing.T) {
+	run := func() (int, float64) {
+		cfg := smallConfig(SCDA)
+		c := mustNew(t, cfg)
+		spec := workload.DefaultDCSpec()
+		spec.ArrivalRate = 20
+		spec.Clients = 10
+		reqs := spec.Generate(sim.NewRNG(99), 4)
+		m := c.RunWorkload(reqs, 60)
+		return m.Completed, m.MeanFCT()
+	}
+	c1, f1 := run()
+	c2, f2 := run()
+	if c1 != c2 || f1 != f2 {
+		t.Fatalf("non-deterministic: (%d, %v) vs (%d, %v)", c1, f1, c2, f2)
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"repro/internal/content"
+	"repro/internal/dfs"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// observeAccess feeds the access-frequency classifier (section II-B: "the
+// RMs of the servers can learn the type of content from the server access
+// frequencies") and refreshes the learned class on the metadata.
+func (c *Cluster) observeAccess(id content.ID, op workload.Op) {
+	now := c.Sim.Now()
+	if op == workload.Read {
+		c.Classifier.ObserveRead(id, now)
+	} else {
+		c.Classifier.ObserveWrite(id, now)
+	}
+	if meta, err := c.FES.Lookup(id); err == nil {
+		meta.Info.Learned = c.Classifier.Classify(id, now)
+	}
+}
+
+// MigrateCold implements the section VII-C consolidation: "passive content
+// which is initially written to the active servers can be totally moved to
+// the dormant servers after the active servers learn the low frequency of
+// the content". Every content whose effective class is Passive and whose
+// window access count is zero has each replica that sits on a busy
+// (non-dormant-candidate) server moved to a dormant candidate: the data is
+// copied with an internal transfer and the old replica dropped.
+//
+// Returns the number of replicas migrated. Requires SCDA with Rscale > 0;
+// otherwise it is a no-op.
+func (c *Cluster) MigrateCold() int {
+	if c.Cfg.System != SCDA || c.Cfg.Rscale <= 0 {
+		return 0
+	}
+	now := c.Sim.Now()
+	migrated := 0
+	for _, id := range c.FES.Contents() {
+		meta, err := c.FES.Lookup(id)
+		if err != nil {
+			continue
+		}
+		if meta.Info.Effective() != content.Passive {
+			continue
+		}
+		if c.Classifier.AccessCount(id, now) > 0 {
+			continue // still warm: leave it
+		}
+		for bi := range meta.Blocks {
+			b := &meta.Blocks[bi]
+			for _, holder := range b.Replicas {
+				rm := c.Hier.RMFor(holder)
+				if rm == nil || rm.UpHat > c.Cfg.Rscale {
+					continue // already on a dormant candidate
+				}
+				if c.migrateReplica(b, holder) {
+					migrated++
+					break // one move per block per pass keeps churn bounded
+				}
+			}
+		}
+	}
+	c.Metrics.Migrations += int64(migrated)
+	return migrated
+}
+
+// migrateReplica copies a block from a busy holder to a dormant candidate
+// and drops the old replica. Returns false when no target exists.
+func (c *Cluster) migrateReplica(b *dfs.Block, from topology.NodeID) bool {
+	holding := make(map[topology.NodeID]bool, len(b.Replicas))
+	for _, r := range b.Replicas {
+		holding[r] = true
+	}
+	f := func(n topology.NodeID) bool {
+		if c.failed[n] || holding[n] {
+			return false
+		}
+		rm := c.Hier.RMFor(n)
+		if rm == nil || rm.UpHat <= c.Cfg.Rscale {
+			return false // not a dormant candidate
+		}
+		bs := c.FES.BlockServer(n)
+		return bs != nil && bs.CanStore(b.Size)
+	}
+	target, _, err := c.Picker.ScanUp(c.Hier.Root(), f, c.Sim.Now())
+	if err != nil {
+		return false
+	}
+	if err := c.FES.AddReplica(b.ID, target); err != nil {
+		return false
+	}
+	// copy the data, then release the busy server's replica: "totally
+	// moved", not just re-replicated
+	src := from
+	c.startTransfer(src, target, b.Size, workload.Write, true, func(float64) {
+		_ = c.FES.RemoveReplica(b.ID, src)
+	})
+	return true
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/ratealloc"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestClassifierLearnsFromAccesses(t *testing.T) {
+	c := mustNew(t, smallConfig(SCDA))
+	if err := c.SubmitWrite(workload.Request{Client: 0, Content: "hot", Size: 50_000}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(5)
+	// hammer it with reads
+	for i := 0; i < 15; i++ {
+		at := c.Sim.Now() + float64(i)*0.5
+		c.Sim.At(at, func() {
+			_ = c.SubmitRead(workload.Request{Client: 1, Content: "hot", Op: workload.Read})
+		})
+	}
+	c.Sim.RunUntil(c.Sim.Now() + 30)
+	meta, err := c.FES.Lookup("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Info.Learned != content.SemiInteractive {
+		t.Fatalf("learned class = %v, want semi-interactive after a read storm", meta.Info.Learned)
+	}
+}
+
+// loadUplinks pushes background flows onto every server uplink except the
+// exempt set, so their UpHat drops below Rscale.
+func loadUplinks(t *testing.T, c *Cluster, exempt map[topology.NodeID]bool) {
+	t.Helper()
+	id := 50000
+	for _, s := range c.TT.Servers {
+		if exempt[s] {
+			continue
+		}
+		for k := 0; k < 4; k++ {
+			if err := c.Ctrl.Register(&ratealloc.Flow{
+				ID:   ratealloc.FlowID(id),
+				Path: []topology.LinkID{c.TT.UplinkOf[s]},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+}
+
+func TestMigrateColdMovesToDormantCandidates(t *testing.T) {
+	cfg := smallConfig(SCDA)
+	cfg.Rscale = 0.5 * 0.95 * cfg.Topology.X
+	c := mustNew(t, cfg)
+
+	// write a passive content; with an idle cluster it lands anywhere
+	if err := c.SubmitWrite(workload.Request{
+		Client: 0, Content: "archive", Size: 300_000, Class: content.Passive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(10)
+	meta, _ := c.FES.Lookup("archive")
+	holder := meta.Blocks[0].Replicas[0]
+
+	// make every server except one busy — including the holder
+	dormant := c.TT.Servers[len(c.TT.Servers)-1]
+	if dormant == holder {
+		dormant = c.TT.Servers[len(c.TT.Servers)-2]
+	}
+	loadUplinks(t, c, map[topology.NodeID]bool{dormant: true})
+	c.Sim.RunUntil(c.Sim.Now() + 2) // let rates converge
+
+	// content must be cold: advance past the classifier window
+	c.Sim.RunUntil(c.Sim.Now() + 70)
+
+	moved := c.MigrateCold()
+	if moved != 1 {
+		t.Fatalf("migrated %d replicas, want 1", moved)
+	}
+	c.Sim.RunUntil(c.Sim.Now() + 30) // let the copy finish
+
+	meta, _ = c.FES.Lookup("archive")
+	reps := meta.Blocks[0].Replicas
+	if len(reps) != 1 {
+		t.Fatalf("replicas after migration = %v", reps)
+	}
+	if reps[0] != dormant {
+		t.Fatalf("replica on %v, want dormant candidate %v", reps[0], dormant)
+	}
+	if c.Metrics.Migrations != 1 {
+		t.Fatalf("Migrations = %d", c.Metrics.Migrations)
+	}
+}
+
+func TestMigrateColdSkipsWarmContent(t *testing.T) {
+	cfg := smallConfig(SCDA)
+	cfg.Rscale = 0.5 * 0.95 * cfg.Topology.X
+	c := mustNew(t, cfg)
+	if err := c.SubmitWrite(workload.Request{
+		Client: 0, Content: "warm", Size: 100_000, Class: content.Passive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(5)
+	// fresh write: access count is nonzero within the window
+	if moved := c.MigrateCold(); moved != 0 {
+		t.Fatalf("migrated warm content (%d moves)", moved)
+	}
+}
+
+func TestMigrateColdNoopWithoutRscale(t *testing.T) {
+	c := mustNew(t, smallConfig(SCDA))
+	if moved := c.MigrateCold(); moved != 0 {
+		t.Fatal("migration ran with Rscale unset")
+	}
+	r := mustNew(t, smallConfig(RandTCP))
+	if moved := r.MigrateCold(); moved != 0 {
+		t.Fatal("migration ran on RandTCP")
+	}
+}
+
+func TestPeriodicMigrationTicker(t *testing.T) {
+	cfg := smallConfig(SCDA)
+	cfg.Rscale = 0.5 * 0.95 * cfg.Topology.X
+	cfg.MigrateInterval = 5
+	c := mustNew(t, cfg)
+	if err := c.SubmitWrite(workload.Request{
+		Client: 0, Content: "cold", Size: 100_000, Class: content.Passive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(3)
+	holder := func() topology.NodeID {
+		m, _ := c.FES.Lookup("cold")
+		return m.Blocks[0].Replicas[0]
+	}
+	dormant := c.TT.Servers[len(c.TT.Servers)-1]
+	if dormant == holder() {
+		dormant = c.TT.Servers[len(c.TT.Servers)-2]
+	}
+	loadUplinks(t, c, map[topology.NodeID]bool{dormant: true})
+	// run past the classifier window plus a migration tick
+	c.Sim.RunUntil(c.Sim.Now() + 90)
+	if c.Metrics.Migrations == 0 {
+		t.Fatal("periodic ticker never migrated the cold content")
+	}
+	if got := holder(); got != dormant {
+		t.Fatalf("cold content on %v, want %v", got, dormant)
+	}
+}

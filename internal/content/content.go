@@ -1,0 +1,203 @@
+// Package content implements SCDA's content model (section II-B): contents
+// are classified by write and read frequency into active classes — high
+// write/high read (HWHR, interactive), low write/high read (LWHR), high
+// write/low read (HWLR) — and the passive class, low write/low read (LWLR).
+// The paper motivates the split with HDFS measurements where "about 60% of
+// content was not accessed at all in a 20 day window".
+//
+// Classification is either declared by the client application or learned
+// by the RMs from observed access frequencies; both paths are implemented
+// here. The interactivity criterion follows section VII: "a maximum
+// interactivity interval of 5 seconds" between interleaved reads and
+// writes marks content interactive.
+package content
+
+import (
+	"fmt"
+)
+
+// Class is a content access class.
+type Class int
+
+const (
+	// Unknown means not yet declared or learned.
+	Unknown Class = iota
+	// Interactive is HWHR: reads and writes interleaved within the
+	// interactivity interval (chat, collaborative editing, hot tables).
+	Interactive
+	// SemiInteractive is HWLR or LWHR: one operation frequent, the other
+	// rare (append-heavy logs, publish-once read-many video).
+	SemiInteractive
+	// Passive is LWLR: rarely touched after initial storage (sent email,
+	// cold archives).
+	Passive
+)
+
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case SemiInteractive:
+		return "semi-interactive"
+	case Passive:
+		return "passive"
+	default:
+		return "unknown"
+	}
+}
+
+// ID identifies a stored content (file, object, chunk group).
+type ID string
+
+// Info is the metadata the name nodes keep per content.
+type Info struct {
+	ID   ID
+	Size int64
+	// Declared is the class the client asserted at creation (Unknown if
+	// none); Learned is the classifier's current estimate.
+	Declared Class
+	Learned  Class
+}
+
+// Effective returns the class used for server selection: the declared
+// class wins ("the client applications can specify the type of content"),
+// falling back to the learned one, then Passive (the safe default for
+// untouched content, consistent with the 60%-cold observation).
+func (i *Info) Effective() Class {
+	if i.Declared != Unknown {
+		return i.Declared
+	}
+	if i.Learned != Unknown {
+		return i.Learned
+	}
+	return Passive
+}
+
+// ClassifierConfig sets the learning thresholds.
+type ClassifierConfig struct {
+	// Window is the sliding observation window in seconds.
+	Window float64
+	// HighWrite / HighRead are the ops-per-window thresholds separating
+	// "high" from "low" frequency; the paper leaves them "user defined".
+	HighWrite int
+	HighRead  int
+	// InteractiveGap is the maximum write↔read interleave gap that marks
+	// interactivity (the paper's 5 seconds).
+	InteractiveGap float64
+}
+
+// DefaultClassifierConfig mirrors the paper's constants.
+func DefaultClassifierConfig() ClassifierConfig {
+	return ClassifierConfig{Window: 60, HighWrite: 10, HighRead: 10, InteractiveGap: 5}
+}
+
+func (c ClassifierConfig) validate() error {
+	if c.Window <= 0 || c.InteractiveGap <= 0 {
+		return fmt.Errorf("content: non-positive window/gap %+v", c)
+	}
+	if c.HighWrite <= 0 || c.HighRead <= 0 {
+		return fmt.Errorf("content: non-positive thresholds %+v", c)
+	}
+	return nil
+}
+
+// Classifier learns content classes from observed accesses, the "RMs of
+// the servers can learn the type of content from the server access
+// frequencies" path. One classifier instance serves one block server (or
+// one name node).
+type Classifier struct {
+	cfg   ClassifierConfig
+	stats map[ID]*accessStats
+}
+
+type accessStats struct {
+	writes, reads   []float64 // access times within the window
+	lastWrite       float64
+	lastRead        float64
+	sawInterleaving bool
+}
+
+// NewClassifier builds a classifier; invalid configs panic (construction
+// bug, not runtime input).
+func NewClassifier(cfg ClassifierConfig) *Classifier {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Classifier{cfg: cfg, stats: make(map[ID]*accessStats)}
+}
+
+func (cl *Classifier) stat(id ID) *accessStats {
+	s, ok := cl.stats[id]
+	if !ok {
+		s = &accessStats{lastWrite: -1e18, lastRead: -1e18}
+		cl.stats[id] = s
+	}
+	return s
+}
+
+func trim(ts []float64, cutoff float64) []float64 {
+	i := 0
+	for i < len(ts) && ts[i] < cutoff {
+		i++
+	}
+	return ts[i:]
+}
+
+// ObserveWrite records a write to the content at time now (seconds).
+func (cl *Classifier) ObserveWrite(id ID, now float64) {
+	s := cl.stat(id)
+	s.writes = append(trim(s.writes, now-cl.cfg.Window), now)
+	if now-s.lastRead <= cl.cfg.InteractiveGap {
+		s.sawInterleaving = true
+	}
+	s.lastWrite = now
+}
+
+// ObserveRead records a read.
+func (cl *Classifier) ObserveRead(id ID, now float64) {
+	s := cl.stat(id)
+	s.reads = append(trim(s.reads, now-cl.cfg.Window), now)
+	if now-s.lastWrite <= cl.cfg.InteractiveGap {
+		s.sawInterleaving = true
+	}
+	s.lastRead = now
+}
+
+// Classify returns the current class estimate for the content at time now.
+func (cl *Classifier) Classify(id ID, now float64) Class {
+	s, ok := cl.stats[id]
+	if !ok {
+		return Passive
+	}
+	s.writes = trim(s.writes, now-cl.cfg.Window)
+	s.reads = trim(s.reads, now-cl.cfg.Window)
+	hw := len(s.writes) >= cl.cfg.HighWrite
+	hr := len(s.reads) >= cl.cfg.HighRead
+	switch {
+	case hw && hr && s.sawInterleaving:
+		return Interactive
+	case hw || hr:
+		return SemiInteractive
+	default:
+		return Passive
+	}
+}
+
+// AccessCount returns reads+writes observed in the current window — the
+// popularity counter the RM uses to decide when passive content "can be
+// totally moved to the dormant servers" (section VII-C).
+func (cl *Classifier) AccessCount(id ID, now float64) int {
+	s, ok := cl.stats[id]
+	if !ok {
+		return 0
+	}
+	s.writes = trim(s.writes, now-cl.cfg.Window)
+	s.reads = trim(s.reads, now-cl.cfg.Window)
+	return len(s.writes) + len(s.reads)
+}
+
+// Forget drops state for a content (deleted or migrated away).
+func (cl *Classifier) Forget(id ID) { delete(cl.stats, id) }
+
+// Tracked returns the number of contents with live statistics.
+func (cl *Classifier) Tracked() int { return len(cl.stats) }

@@ -1,0 +1,168 @@
+package content
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Unknown: "unknown", Interactive: "interactive",
+		SemiInteractive: "semi-interactive", Passive: "passive",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestEffectiveClassPrecedence(t *testing.T) {
+	i := &Info{ID: "x", Declared: Interactive, Learned: Passive}
+	if i.Effective() != Interactive {
+		t.Fatal("declared class must win")
+	}
+	i = &Info{ID: "x", Learned: SemiInteractive}
+	if i.Effective() != SemiInteractive {
+		t.Fatal("learned class must be used when not declared")
+	}
+	i = &Info{ID: "x"}
+	if i.Effective() != Passive {
+		t.Fatal("unknown content must default to passive")
+	}
+}
+
+func TestInteractiveDetection(t *testing.T) {
+	cl := NewClassifier(DefaultClassifierConfig())
+	// interleaved reads and writes within 5s, high frequency
+	now := 0.0
+	for i := 0; i < 12; i++ {
+		cl.ObserveWrite("chat", now)
+		cl.ObserveRead("chat", now+1)
+		now += 3
+	}
+	if got := cl.Classify("chat", now); got != Interactive {
+		t.Fatalf("interleaved hot content classified %v", got)
+	}
+}
+
+func TestSemiInteractiveDetection(t *testing.T) {
+	cl := NewClassifier(DefaultClassifierConfig())
+	// write-once, read-many within the window, reads far from the write
+	cl.ObserveWrite("video", 0)
+	for i := 0; i < 15; i++ {
+		cl.ObserveRead("video", 10+float64(i))
+	}
+	if got := cl.Classify("video", 30); got != SemiInteractive {
+		t.Fatalf("read-hot content classified %v", got)
+	}
+}
+
+func TestPassiveDetection(t *testing.T) {
+	cl := NewClassifier(DefaultClassifierConfig())
+	cl.ObserveWrite("archive", 0)
+	cl.ObserveRead("archive", 100)
+	if got := cl.Classify("archive", 200); got != Passive {
+		t.Fatalf("cold content classified %v", got)
+	}
+	if got := cl.Classify("never-seen", 0); got != Passive {
+		t.Fatalf("unseen content classified %v", got)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	cl := NewClassifier(DefaultClassifierConfig())
+	for i := 0; i < 20; i++ {
+		cl.ObserveRead("burst", float64(i))
+	}
+	if cl.Classify("burst", 20) != SemiInteractive {
+		t.Fatal("hot burst not detected")
+	}
+	// 2 windows later everything has aged out
+	if got := cl.Classify("burst", 150); got != Passive {
+		t.Fatalf("aged content classified %v", got)
+	}
+}
+
+func TestAccessCount(t *testing.T) {
+	cl := NewClassifier(DefaultClassifierConfig())
+	cl.ObserveWrite("f", 0)
+	cl.ObserveRead("f", 1)
+	cl.ObserveRead("f", 2)
+	if got := cl.AccessCount("f", 3); got != 3 {
+		t.Fatalf("AccessCount = %d", got)
+	}
+	if got := cl.AccessCount("f", 200); got != 0 {
+		t.Fatalf("aged AccessCount = %d", got)
+	}
+	if got := cl.AccessCount("ghost", 0); got != 0 {
+		t.Fatalf("unseen AccessCount = %d", got)
+	}
+}
+
+func TestForget(t *testing.T) {
+	cl := NewClassifier(DefaultClassifierConfig())
+	cl.ObserveWrite("f", 0)
+	if cl.Tracked() != 1 {
+		t.Fatal("not tracked")
+	}
+	cl.Forget("f")
+	if cl.Tracked() != 0 {
+		t.Fatal("still tracked after Forget")
+	}
+}
+
+func TestInteractiveRequiresInterleaving(t *testing.T) {
+	cl := NewClassifier(DefaultClassifierConfig())
+	// high writes AND high reads, but separated by > 5s gaps
+	for i := 0; i < 15; i++ {
+		cl.ObserveWrite("log", float64(i))
+	}
+	for i := 0; i < 15; i++ {
+		cl.ObserveRead("log", 30+float64(i))
+	}
+	// reads started 15s after last write: no interleaving...
+	// except the first read at t=30 vs last write t=14 — gap 16 > 5. Good.
+	if got := cl.Classify("log", 46); got != SemiInteractive {
+		t.Fatalf("non-interleaved hot content classified %v", got)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	bad := []ClassifierConfig{
+		{Window: 0, HighWrite: 1, HighRead: 1, InteractiveGap: 5},
+		{Window: 60, HighWrite: 0, HighRead: 1, InteractiveGap: 5},
+		{Window: 60, HighWrite: 1, HighRead: 1, InteractiveGap: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted", i)
+				}
+			}()
+			NewClassifier(cfg)
+		}()
+	}
+}
+
+func TestClassifyMonotoneInObservations(t *testing.T) {
+	// property: adding more reads never demotes below the read-only class
+	f := func(reads uint8) bool {
+		cl := NewClassifier(DefaultClassifierConfig())
+		id := ID(fmt.Sprintf("c%d", reads))
+		n := int(reads%40) + 1
+		for i := 0; i < n; i++ {
+			cl.ObserveRead(id, float64(i)*0.5)
+		}
+		got := cl.Classify(id, float64(n)*0.5)
+		if n >= DefaultClassifierConfig().HighRead {
+			return got == SemiInteractive
+		}
+		return got == Passive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package core is the top-level entry point to the SCDA reproduction: a
+// small façade that assembles the paper's system (or the RandTCP baseline)
+// from the substrate packages with functional options, so examples and
+// tools read like the paper's architecture instead of like wiring code.
+//
+// The heavy lifting lives underneath:
+//
+//   - internal/ratealloc — the RM/RA allocation plane (eqs. 2-6, fig. 2)
+//   - internal/dfs       — FES, multiple NNS, block servers
+//   - internal/selection — content-aware server selection (section VII)
+//   - internal/scdatp    — explicit-rate transport (section VIII)
+//   - internal/tcp       — the baseline's TCP Reno
+//   - internal/netsim    — the packet-level network (NS2 stand-in)
+//   - internal/cluster   — the integration of all of the above
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// Option customises a cluster configuration.
+type Option func(*cluster.Config)
+
+// WithTopology replaces the fig. 6 default topology spec.
+func WithTopology(spec topology.ThreeTierSpec) Option {
+	return func(c *cluster.Config) { c.Topology = spec }
+}
+
+// WithBandwidth sets the base bandwidth X (bits/sec) and factor K.
+func WithBandwidth(x, k float64) Option {
+	return func(c *cluster.Config) {
+		c.Topology.X = x
+		c.Topology.K = k
+	}
+}
+
+// WithNNS sets the name-node count (1 = the GFS/HDFS baseline layout).
+func WithNNS(n int) Option {
+	return func(c *cluster.Config) { c.NumNNS = n }
+}
+
+// WithReplication enables the internal replication write of section
+// VIII-B after every external write.
+func WithReplication() Option {
+	return func(c *cluster.Config) { c.Replicate = true }
+}
+
+// WithRscale sets the passive-content scale-down threshold of section
+// VII-C in bits/sec.
+func WithRscale(r float64) Option {
+	return func(c *cluster.Config) { c.Rscale = r }
+}
+
+// WithPowerAware enables R̂/P selection (section VII-D) over
+// heterogeneous per-server power profiles.
+func WithPowerAware() Option {
+	return func(c *cluster.Config) {
+		c.PowerAware = true
+		c.HeterogeneousPower = true
+	}
+}
+
+// WithSeed sets the experiment seed.
+func WithSeed(seed uint64) Option {
+	return func(c *cluster.Config) { c.Seed = seed }
+}
+
+// WithControlDelay models the FES/NNS/RA request path latency before each
+// transfer starts.
+func WithControlDelay(d float64) Option {
+	return func(c *cluster.Config) { c.ControlDelay = d }
+}
+
+// NewSCDA builds the paper's system: RM/RA explicit rates, content-aware
+// selection, rate-paced transport.
+func NewSCDA(opts ...Option) (*cluster.Cluster, error) {
+	cfg := cluster.DefaultConfig(cluster.SCDA)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cluster.New(cfg)
+}
+
+// NewRandTCP builds the baseline: random server selection + TCP Reno, the
+// behaviour the paper attributes to VL2/Hedera-class architectures.
+func NewRandTCP(opts ...Option) (*cluster.Cluster, error) {
+	cfg := cluster.DefaultConfig(cluster.RandTCP)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cluster.New(cfg)
+}
+
+// WithColdMigration runs the section VII-C cold-content migration pass
+// every interval seconds (requires WithRscale).
+func WithColdMigration(interval float64) Option {
+	return func(c *cluster.Config) { c.MigrateInterval = interval }
+}
+
+// WithSJF attaches the implicit shortest-job-first priority policy of
+// section IV-A to every flow.
+func WithSJF() Option {
+	return func(c *cluster.Config) { c.SJFScheduling = true }
+}
+
+// WithServerResources models per-server CPU and disk service capacity (the
+// multi-resource R_other term of section VI-A) in bits/sec; bgMax draws
+// each server's background-computation fraction from [0, bgMax).
+func WithServerResources(cpuRate, diskRate, bgMax float64) Option {
+	return func(c *cluster.Config) {
+		c.ServerCPURate = cpuRate
+		c.ServerDiskRate = diskRate
+		c.ServerBackgroundMax = bgMax
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestNewSCDADefaults(t *testing.T) {
+	c, err := NewSCDA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cfg.System != cluster.SCDA {
+		t.Fatal("wrong system")
+	}
+	if c.Ctrl == nil || c.Hier == nil || c.Picker == nil {
+		t.Fatal("SCDA planes not wired")
+	}
+	if c.Random != nil {
+		t.Fatal("random picker present on SCDA")
+	}
+}
+
+func TestNewRandTCPDefaults(t *testing.T) {
+	c, err := NewRandTCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ctrl != nil {
+		t.Fatal("allocation plane present on baseline")
+	}
+	if c.Random == nil {
+		t.Fatal("random picker missing")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	spec := topology.DefaultThreeTier()
+	spec.Racks = 2
+	spec.ServersPerRack = 2
+	c, err := NewSCDA(
+		WithTopology(spec),
+		WithBandwidth(200e6, 1),
+		WithNNS(5),
+		WithReplication(),
+		WithRscale(42e6),
+		WithPowerAware(),
+		WithSeed(99),
+		WithControlDelay(0.25),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Cfg
+	switch {
+	case cfg.Topology.Racks != 2,
+		cfg.Topology.X != 200e6,
+		cfg.Topology.K != 1,
+		cfg.NumNNS != 5,
+		!cfg.Replicate,
+		cfg.Rscale != 42e6,
+		!cfg.PowerAware,
+		!cfg.HeterogeneousPower,
+		cfg.Seed != 99,
+		cfg.ControlDelay != 0.25:
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	if c.FES.NumNNS() != 5 {
+		t.Fatal("NNS count not plumbed")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	c, err := NewSCDA(WithBandwidth(100e6, 3), WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitWrite(workload.Request{Client: 0, Content: "f", Size: 250_000}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(30)
+	if c.Metrics.Completed != 1 {
+		t.Fatal("write did not complete through the façade")
+	}
+	meta, err := c.FES.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Blocks[0].Replicas) != 2 {
+		t.Fatal("replication option not effective")
+	}
+}
+
+func TestNewOptions(t *testing.T) {
+	c, err := NewSCDA(
+		WithSJF(),
+		WithColdMigration(5),
+		WithServerResources(100e6, 200e6, 0.3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Cfg
+	switch {
+	case !cfg.SJFScheduling,
+		cfg.MigrateInterval != 5,
+		cfg.ServerCPURate != 100e6,
+		cfg.ServerDiskRate != 200e6,
+		cfg.ServerBackgroundMax != 0.3:
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	if c.Sched == nil {
+		t.Fatal("scheduler not built via option")
+	}
+	if c.Hosts == nil {
+		t.Fatal("host resources not built via option")
+	}
+}

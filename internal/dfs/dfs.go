@@ -1,0 +1,335 @@
+// Package dfs implements SCDA's distributed-file-system substrate
+// (section III-A): a light-weight front-end server (FES) that hashes
+// requests across multiple name node servers (NNS), each holding the
+// metadata for a partition of the content namespace, backed by block
+// servers (BS) that store the data blocks.
+//
+// This is the paper's first headline feature: unlike GFS and HDFS, which
+// route all metadata through a single name node ("potentially ... a
+// bottleneck resource and single point of failure"), SCDA spreads metadata
+// over NNNS name nodes with the FES doing stateless hash routing:
+// nns = hash(ID) mod NNNS. A request arriving at the wrong NNS is hashed
+// and forwarded to the owner (section III-A's NNS-assisted forwarding);
+// the forwarding counters let experiments quantify the cost.
+package dfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/content"
+	"repro/internal/topology"
+)
+
+// BlockID identifies one stored block.
+type BlockID struct {
+	Content content.ID
+	Index   int
+}
+
+func (b BlockID) String() string { return fmt.Sprintf("%s/%d", b.Content, b.Index) }
+
+// Block is the metadata for one block of a content.
+type Block struct {
+	ID   BlockID
+	Size int64
+	// Replicas lists the block servers holding a copy, in placement order
+	// (first is the primary the client wrote to).
+	Replicas []topology.NodeID
+}
+
+// Meta is the per-content metadata an NNS keeps.
+type Meta struct {
+	Info   content.Info
+	Blocks []Block
+}
+
+// TotalSize sums block sizes.
+func (m *Meta) TotalSize() int64 {
+	var t int64
+	for _, b := range m.Blocks {
+		t += b.Size
+	}
+	return t
+}
+
+// BlockServer is the metadata-side view of one BS: capacity accounting and
+// access counters (the data path lives in the cluster simulation).
+type BlockServer struct {
+	Node     topology.NodeID
+	Capacity int64
+	Used     int64
+	blocks   map[BlockID]bool
+
+	// Writes and Reads count block-level accesses, feeding the
+	// popularity counters of section VII-C.
+	Writes int64
+	Reads  int64
+}
+
+// NewBlockServer creates a BS with the given storage capacity in bytes.
+func NewBlockServer(node topology.NodeID, capacity int64) *BlockServer {
+	if capacity <= 0 {
+		panic("dfs: block server capacity must be positive")
+	}
+	return &BlockServer{Node: node, Capacity: capacity, blocks: make(map[BlockID]bool)}
+}
+
+// CanStore reports whether size more bytes fit.
+func (bs *BlockServer) CanStore(size int64) bool { return bs.Used+size <= bs.Capacity }
+
+// Store reserves space for a block; it errors when full (the "server may
+// not have enough disk space" condition of section IV).
+func (bs *BlockServer) Store(id BlockID, size int64) error {
+	if bs.blocks[id] {
+		return fmt.Errorf("dfs: %v already on server %d", id, bs.Node)
+	}
+	if !bs.CanStore(size) {
+		return fmt.Errorf("dfs: server %d full (%d/%d + %d)", bs.Node, bs.Used, bs.Capacity, size)
+	}
+	bs.blocks[id] = true
+	bs.Used += size
+	bs.Writes++
+	return nil
+}
+
+// Drop releases a block's space (migration away, deletion).
+func (bs *BlockServer) Drop(id BlockID, size int64) {
+	if bs.blocks[id] {
+		delete(bs.blocks, id)
+		bs.Used -= size
+	}
+}
+
+// Has reports whether the server holds the block.
+func (bs *BlockServer) Has(id BlockID) bool { return bs.blocks[id] }
+
+// NumBlocks returns the number of stored blocks.
+func (bs *BlockServer) NumBlocks() int { return len(bs.blocks) }
+
+// NameNode holds the metadata partition for contents hashed to it.
+type NameNode struct {
+	Index int
+	meta  map[content.ID]*Meta
+
+	// Requests counts metadata operations served here (the load metric
+	// for the single-vs-multiple NNS ablation); Forwarded counts requests
+	// that arrived here but belonged to another NNS.
+	Requests  int64
+	Forwarded int64
+}
+
+// NumContents returns the number of contents in this partition.
+func (n *NameNode) NumContents() int { return len(n.meta) }
+
+// FES is the front-end server plus the name-node set: the metadata plane.
+type FES struct {
+	nns    []*NameNode
+	blocks map[topology.NodeID]*BlockServer
+	// BlockSize splits contents into blocks (GFS-style chunks).
+	BlockSize int64
+}
+
+// Hash is the stateless routing hash (FNV-1a over the ID).
+func Hash(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// New creates a FES with numNNS name nodes. The paper's default cloud uses
+// several; numNNS = 1 reproduces the GFS/HDFS single-name-node baseline.
+func New(numNNS int, blockSize int64) (*FES, error) {
+	if numNNS <= 0 {
+		return nil, fmt.Errorf("dfs: numNNS = %d", numNNS)
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dfs: blockSize = %d", blockSize)
+	}
+	f := &FES{
+		nns:       make([]*NameNode, numNNS),
+		blocks:    make(map[topology.NodeID]*BlockServer),
+		BlockSize: blockSize,
+	}
+	for i := range f.nns {
+		f.nns[i] = &NameNode{Index: i, meta: make(map[content.ID]*Meta)}
+	}
+	return f, nil
+}
+
+// AddBlockServer registers a BS.
+func (f *FES) AddBlockServer(bs *BlockServer) error {
+	if _, dup := f.blocks[bs.Node]; dup {
+		return fmt.Errorf("dfs: block server %d already registered", bs.Node)
+	}
+	f.blocks[bs.Node] = bs
+	return nil
+}
+
+// BlockServer returns the BS at a node, or nil.
+func (f *FES) BlockServer(node topology.NodeID) *BlockServer { return f.blocks[node] }
+
+// NumNNS returns the name-node count.
+func (f *FES) NumNNS() int { return len(f.nns) }
+
+// NNS returns name node i.
+func (f *FES) NNS(i int) *NameNode { return f.nns[i] }
+
+// Route returns the owning NNS for a content ID: the FES's
+// hash(ID) mod NNNS dispatch of section VIII-A step 2.
+func (f *FES) Route(id content.ID) *NameNode {
+	return f.nns[Hash(string(id))%uint64(len(f.nns))]
+}
+
+// RouteVia models a request arriving at an arbitrary NNS (the paper's
+// FES-agent-on-NNS deployment): if the receiving NNS is not the owner it
+// forwards, incrementing its Forwarded counter, and returns the owner.
+func (f *FES) RouteVia(receiving int, id content.ID) *NameNode {
+	owner := f.Route(id)
+	rcv := f.nns[receiving%len(f.nns)]
+	if owner != rcv {
+		rcv.Forwarded++
+	}
+	return owner
+}
+
+// SplitBlocks returns the block sizes for a content of the given size.
+func (f *FES) SplitBlocks(size int64) []int64 {
+	if size <= 0 {
+		return nil
+	}
+	var out []int64
+	for size > f.BlockSize {
+		out = append(out, f.BlockSize)
+		size -= f.BlockSize
+	}
+	return append(out, size)
+}
+
+// Create registers a new content with block placement already chosen by
+// the caller (the selection layer): placements[i] is the primary BS for
+// block i. Space is reserved on every primary.
+func (f *FES) Create(info content.Info, placements []topology.NodeID) (*Meta, error) {
+	sizes := f.SplitBlocks(info.Size)
+	if len(sizes) != len(placements) {
+		return nil, fmt.Errorf("dfs: %d placements for %d blocks", len(placements), len(sizes))
+	}
+	nn := f.Route(info.ID)
+	nn.Requests++
+	if _, dup := nn.meta[info.ID]; dup {
+		return nil, fmt.Errorf("dfs: content %s already exists", info.ID)
+	}
+	m := &Meta{Info: info}
+	rollback := func(upTo int) {
+		for j := 0; j < upTo; j++ {
+			f.blocks[placements[j]].Drop(BlockID{Content: info.ID, Index: j}, sizes[j])
+		}
+	}
+	for i, sz := range sizes {
+		bs := f.blocks[placements[i]]
+		if bs == nil {
+			rollback(i)
+			return nil, fmt.Errorf("dfs: placement %d is not a block server", placements[i])
+		}
+		id := BlockID{Content: info.ID, Index: i}
+		if err := bs.Store(id, sz); err != nil {
+			rollback(i)
+			return nil, err
+		}
+		m.Blocks = append(m.Blocks, Block{ID: id, Size: sz, Replicas: []topology.NodeID{placements[i]}})
+	}
+	nn.meta[info.ID] = m
+	return m, nil
+}
+
+// Lookup returns a content's metadata via its owning NNS.
+func (f *FES) Lookup(id content.ID) (*Meta, error) {
+	nn := f.Route(id)
+	nn.Requests++
+	m, ok := nn.meta[id]
+	if !ok {
+		return nil, fmt.Errorf("dfs: content %s not found", id)
+	}
+	return m, nil
+}
+
+// AddReplica records a new replica of a block on a BS, reserving space.
+func (f *FES) AddReplica(id BlockID, server topology.NodeID) error {
+	nn := f.Route(id.Content)
+	nn.Requests++
+	m, ok := nn.meta[id.Content]
+	if !ok {
+		return fmt.Errorf("dfs: content %s not found", id.Content)
+	}
+	if id.Index < 0 || id.Index >= len(m.Blocks) {
+		return fmt.Errorf("dfs: block index %d out of range", id.Index)
+	}
+	b := &m.Blocks[id.Index]
+	for _, r := range b.Replicas {
+		if r == server {
+			return fmt.Errorf("dfs: %v already replicated on %d", id, server)
+		}
+	}
+	bs := f.blocks[server]
+	if bs == nil {
+		return fmt.Errorf("dfs: %d is not a block server", server)
+	}
+	if err := bs.Store(id, b.Size); err != nil {
+		return err
+	}
+	b.Replicas = append(b.Replicas, server)
+	return nil
+}
+
+// RemoveReplica drops a replica (migration away), keeping at least one.
+func (f *FES) RemoveReplica(id BlockID, server topology.NodeID) error {
+	nn := f.Route(id.Content)
+	nn.Requests++
+	m, ok := nn.meta[id.Content]
+	if !ok {
+		return fmt.Errorf("dfs: content %s not found", id.Content)
+	}
+	b := &m.Blocks[id.Index]
+	if len(b.Replicas) <= 1 {
+		return fmt.Errorf("dfs: refusing to drop the last replica of %v", id)
+	}
+	for i, r := range b.Replicas {
+		if r == server {
+			b.Replicas = append(b.Replicas[:i], b.Replicas[i+1:]...)
+			f.blocks[server].Drop(id, b.Size)
+			return nil
+		}
+	}
+	return fmt.Errorf("dfs: %v has no replica on %d", id, server)
+}
+
+// MarkRead bumps read counters on the chosen replica's server.
+func (f *FES) MarkRead(id BlockID, server topology.NodeID) {
+	if bs := f.blocks[server]; bs != nil {
+		bs.Reads++
+	}
+}
+
+// LoadByNNS returns request counts per name node, sorted by index — the
+// balance diagnostic for the multiple-NNS feature.
+func (f *FES) LoadByNNS() []int64 {
+	out := make([]int64, len(f.nns))
+	for i, nn := range f.nns {
+		out[i] = nn.Requests
+	}
+	return out
+}
+
+// Contents lists all content IDs across partitions (sorted, for
+// deterministic iteration in experiments).
+func (f *FES) Contents() []content.ID {
+	var ids []content.ID
+	for _, nn := range f.nns {
+		for id := range nn.meta {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

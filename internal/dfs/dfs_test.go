@@ -1,0 +1,292 @@
+package dfs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/content"
+	"repro/internal/topology"
+)
+
+func newFES(t *testing.T, nns int, servers int) *FES {
+	t.Helper()
+	f, err := New(nns, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < servers; i++ {
+		if err := f.AddBlockServer(NewBlockServer(topology.NodeID(100+i), 1<<30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("0 NNS accepted")
+	}
+	if _, err := New(1, 0); err == nil {
+		t.Fatal("0 block size accepted")
+	}
+}
+
+func TestRoutingStableAndBalanced(t *testing.T) {
+	f := newFES(t, 4, 0)
+	counts := make(map[int]int)
+	for i := 0; i < 4000; i++ {
+		id := content.ID(fmt.Sprintf("content-%d", i))
+		a := f.Route(id)
+		b := f.Route(id)
+		if a != b {
+			t.Fatal("routing not stable")
+		}
+		counts[a.Index]++
+	}
+	for i := 0; i < 4; i++ {
+		if counts[i] < 700 || counts[i] > 1300 {
+			t.Fatalf("NNS %d got %d/4000 contents: hash imbalanced", i, counts[i])
+		}
+	}
+}
+
+func TestRouteViaForwards(t *testing.T) {
+	f := newFES(t, 4, 0)
+	id := content.ID("some-content")
+	owner := f.Route(id)
+	other := (owner.Index + 1) % 4
+	got := f.RouteVia(other, id)
+	if got != owner {
+		t.Fatal("RouteVia returned wrong owner")
+	}
+	if f.NNS(other).Forwarded != 1 {
+		t.Fatal("forward not counted")
+	}
+	// arriving at the owner forwards nothing
+	f.RouteVia(owner.Index, id)
+	if f.NNS(owner.Index).Forwarded != 0 {
+		t.Fatal("self-route counted as forward")
+	}
+}
+
+func TestSplitBlocks(t *testing.T) {
+	f := newFES(t, 1, 0)
+	cases := []struct {
+		size int64
+		want []int64
+	}{
+		{0, nil},
+		{100, []int64{100}},
+		{2 << 20, []int64{2 << 20}},
+		{(2 << 20) + 1, []int64{2 << 20, 1}},
+		{5 << 20, []int64{2 << 20, 2 << 20, 1 << 20}},
+	}
+	for _, c := range cases {
+		got := f.SplitBlocks(c.size)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitBlocks(%d) = %v", c.size, got)
+		}
+		var sum int64
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitBlocks(%d) = %v, want %v", c.size, got, c.want)
+			}
+			sum += got[i]
+		}
+		if sum != c.size {
+			t.Fatalf("blocks of %d sum to %d", c.size, sum)
+		}
+	}
+}
+
+func TestCreateLookup(t *testing.T) {
+	f := newFES(t, 3, 3)
+	info := content.Info{ID: "movie", Size: 5 << 20, Declared: content.SemiInteractive}
+	placements := []topology.NodeID{100, 101, 100}
+	m, err := f.Create(info, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(m.Blocks))
+	}
+	if m.TotalSize() != info.Size {
+		t.Fatalf("total size = %d", m.TotalSize())
+	}
+	got, err := f.Lookup("movie")
+	if err != nil || got != m {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if _, err := f.Lookup("ghost"); err == nil {
+		t.Fatal("missing content found")
+	}
+	// space reserved
+	if f.BlockServer(100).Used != 3<<20 {
+		t.Fatalf("bs100 used = %d", f.BlockServer(100).Used)
+	}
+	if f.BlockServer(100).NumBlocks() != 2 {
+		t.Fatalf("bs100 blocks = %d", f.BlockServer(100).NumBlocks())
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	f := newFES(t, 1, 2)
+	info := content.Info{ID: "x", Size: 3 << 20}
+	if _, err := f.Create(info, []topology.NodeID{100}); err == nil {
+		t.Fatal("wrong placement count accepted")
+	}
+	if _, err := f.Create(info, []topology.NodeID{100, 999}); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+	if _, err := f.Create(info, []topology.NodeID{100, 101}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Create(info, []topology.NodeID{100, 101}); err == nil {
+		t.Fatal("duplicate content accepted")
+	}
+}
+
+func TestCreateRollbackOnFullServer(t *testing.T) {
+	f, _ := New(1, 1<<20)
+	f.AddBlockServer(NewBlockServer(100, 10<<20))
+	f.AddBlockServer(NewBlockServer(101, 1<<20))
+	// second block lands on the tiny server twice: second Store must fail
+	// and the first block's reservation must roll back
+	info := content.Info{ID: "big", Size: 3 << 20}
+	_, err := f.Create(info, []topology.NodeID{100, 101, 101})
+	if err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if f.BlockServer(100).Used != 0 || f.BlockServer(101).Used != 0 {
+		t.Fatalf("rollback failed: used = %d/%d",
+			f.BlockServer(100).Used, f.BlockServer(101).Used)
+	}
+}
+
+func TestReplicaLifecycle(t *testing.T) {
+	f := newFES(t, 2, 3)
+	info := content.Info{ID: "doc", Size: 1000}
+	if _, err := f.Create(info, []topology.NodeID{100}); err != nil {
+		t.Fatal(err)
+	}
+	b := BlockID{Content: "doc", Index: 0}
+	if err := f.AddReplica(b, 101); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddReplica(b, 101); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+	if err := f.AddReplica(BlockID{Content: "doc", Index: 5}, 102); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	m, _ := f.Lookup("doc")
+	if len(m.Blocks[0].Replicas) != 2 {
+		t.Fatalf("replicas = %v", m.Blocks[0].Replicas)
+	}
+	if err := f.RemoveReplica(b, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RemoveReplica(b, 101); err == nil {
+		t.Fatal("dropped the last replica")
+	}
+	if f.BlockServer(100).Used != 0 {
+		t.Fatal("removed replica space not released")
+	}
+}
+
+func TestBlockServerAccounting(t *testing.T) {
+	bs := NewBlockServer(1, 1000)
+	if err := bs.Store(BlockID{"a", 0}, 600); err != nil {
+		t.Fatal(err)
+	}
+	if bs.CanStore(500) {
+		t.Fatal("overfull CanStore true")
+	}
+	if err := bs.Store(BlockID{"b", 0}, 500); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if err := bs.Store(BlockID{"a", 0}, 100); err == nil {
+		t.Fatal("duplicate block accepted")
+	}
+	bs.Drop(BlockID{"a", 0}, 600)
+	if bs.Used != 0 || bs.Has(BlockID{"a", 0}) {
+		t.Fatal("drop failed")
+	}
+	bs.Drop(BlockID{"zz", 0}, 100) // unknown drop is a no-op
+	if bs.Used != 0 {
+		t.Fatal("unknown drop changed accounting")
+	}
+}
+
+func TestMarkReadAndLoad(t *testing.T) {
+	f := newFES(t, 2, 2)
+	f.Create(content.Info{ID: "c", Size: 10}, []topology.NodeID{100})
+	f.MarkRead(BlockID{"c", 0}, 100)
+	if f.BlockServer(100).Reads != 1 {
+		t.Fatal("read not counted")
+	}
+	loads := f.LoadByNNS()
+	var total int64
+	for _, l := range loads {
+		total += l
+	}
+	if total == 0 {
+		t.Fatal("no NNS load recorded")
+	}
+}
+
+func TestContentsSorted(t *testing.T) {
+	f := newFES(t, 3, 1)
+	for _, id := range []content.ID{"zebra", "alpha", "mid"} {
+		f.Create(content.Info{ID: id, Size: 10}, []topology.NodeID{100})
+	}
+	ids := f.Contents()
+	if len(ids) != 3 || ids[0] != "alpha" || ids[2] != "zebra" {
+		t.Fatalf("Contents = %v", ids)
+	}
+}
+
+func TestMultiNNSSpreadsLoad(t *testing.T) {
+	// the paper's headline DFS claim: K name nodes each see ~1/K of the
+	// metadata requests a single NNS would absorb
+	f := newFES(t, 4, 4)
+	for i := 0; i < 2000; i++ {
+		id := content.ID(fmt.Sprintf("c%d", i))
+		if _, err := f.Create(content.Info{ID: id, Size: 100}, []topology.NodeID{topology.NodeID(100 + i%4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := f.LoadByNNS()
+	for i, l := range loads {
+		if l < 300 || l > 800 {
+			t.Fatalf("NNS %d load %d far from 500 (total 2000 over 4)", i, l)
+		}
+	}
+}
+
+func TestHashDeterministicProperty(t *testing.T) {
+	f := func(s string) bool { return Hash(s) == Hash(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitBlocksSumProperty(t *testing.T) {
+	f := newFES(t, 1, 0)
+	prop := func(raw uint32) bool {
+		size := int64(raw % (50 << 20))
+		blocks := f.SplitBlocks(size)
+		var sum int64
+		for _, b := range blocks {
+			if b <= 0 || b > f.BlockSize {
+				return false
+			}
+			sum += b
+		}
+		return sum == size
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package dfs
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Orphan describes a block that lost a replica to a server failure.
+type Orphan struct {
+	ID   BlockID
+	Size int64
+	// Survivors are the remaining replicas (may be empty — the block is
+	// then lost until the client re-uploads).
+	Survivors []topology.NodeID
+}
+
+// FailServer removes a block server from service: every replica it held is
+// dropped from the metadata and returned as an Orphan so the cluster can
+// re-replicate from survivors (the failure-monitoring role the paper
+// assigns to the RM/RA components in section I). The server's capacity
+// accounting is cleared; it stays registered so a later recovery can
+// reuse the node.
+func (f *FES) FailServer(node topology.NodeID) ([]Orphan, error) {
+	bs := f.blocks[node]
+	if bs == nil {
+		return nil, fmt.Errorf("dfs: %d is not a block server", node)
+	}
+	var orphans []Orphan
+	for _, nn := range f.nns {
+		for _, m := range nn.meta {
+			for i := range m.Blocks {
+				b := &m.Blocks[i]
+				idx := -1
+				for j, r := range b.Replicas {
+					if r == node {
+						idx = j
+						break
+					}
+				}
+				if idx < 0 {
+					continue
+				}
+				b.Replicas = append(b.Replicas[:idx], b.Replicas[idx+1:]...)
+				survivors := make([]topology.NodeID, len(b.Replicas))
+				copy(survivors, b.Replicas)
+				orphans = append(orphans, Orphan{ID: b.ID, Size: b.Size, Survivors: survivors})
+			}
+		}
+	}
+	bs.blocks = make(map[BlockID]bool)
+	bs.Used = 0
+	return orphans, nil
+}

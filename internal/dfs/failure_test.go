@@ -1,0 +1,66 @@
+package dfs
+
+import (
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/topology"
+)
+
+func TestFailServerReturnsOrphans(t *testing.T) {
+	f := newFES(t, 2, 3)
+	// two contents: one replicated, one single-copy on the victim
+	if _, err := f.Create(content.Info{ID: "safe", Size: 1000}, []topology.NodeID{100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddReplica(BlockID{"safe", 0}, 101); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Create(content.Info{ID: "fragile", Size: 2000}, []topology.NodeID{100}); err != nil {
+		t.Fatal(err)
+	}
+
+	orphans, err := f.FailServer(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 2 {
+		t.Fatalf("orphans = %d, want 2", len(orphans))
+	}
+	byID := map[content.ID]Orphan{}
+	for _, o := range orphans {
+		byID[o.ID.Content] = o
+	}
+	if got := byID["safe"].Survivors; len(got) != 1 || got[0] != 101 {
+		t.Fatalf("safe survivors = %v", got)
+	}
+	if got := byID["fragile"].Survivors; len(got) != 0 {
+		t.Fatalf("fragile survivors = %v, want none", got)
+	}
+	// the victim's accounting is cleared
+	if f.BlockServer(100).Used != 0 || f.BlockServer(100).NumBlocks() != 0 {
+		t.Fatal("failed server accounting not cleared")
+	}
+	// metadata no longer references the victim
+	m, _ := f.Lookup("safe")
+	for _, r := range m.Blocks[0].Replicas {
+		if r == 100 {
+			t.Fatal("metadata still references failed server")
+		}
+	}
+}
+
+func TestFailServerUnknown(t *testing.T) {
+	f := newFES(t, 1, 1)
+	if _, err := f.FailServer(999); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+}
+
+func TestFailServerIdempotentOnEmpty(t *testing.T) {
+	f := newFES(t, 1, 2)
+	orphans, err := f.FailServer(101)
+	if err != nil || len(orphans) != 0 {
+		t.Fatalf("empty-server failure: %v %v", orphans, err)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SweepResult is a parameter sweep over both systems.
+type SweepResult struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// Series[0] = SCDA, Series[1] = RandTCP; X = swept parameter,
+	// Y = mean FCT.
+	Series []stats.Series
+}
+
+// ClientScaleSweep varies the client population — the paper's fig. 6
+// topology carries "n × 163" clients with n = 10 and n = 100 — and records
+// mean FCT for both systems at fixed per-client demand. SCDA's advantage
+// should persist (or grow) as contention rises, since random placement
+// collides more often at scale.
+func ClientScaleSweep(clientCounts []int, sc Scale) (SweepResult, error) {
+	if len(clientCounts) == 0 {
+		clientCounts = []int{10, 20, 40, 80}
+	}
+	res := SweepResult{
+		ID:     "sweep-clients",
+		Title:  "mean FCT vs client population (fixed per-client demand)",
+		XLabel: "clients",
+		YLabel: "mean FCT (sec)",
+		Series: []stats.Series{{Name: "SCDA"}, {Name: "RandTCP"}},
+	}
+	for _, n := range clientCounts {
+		if n <= 0 {
+			return res, fmt.Errorf("experiments: client count %d", n)
+		}
+		for si, sys := range []cluster.System{cluster.SCDA, cluster.RandTCP} {
+			cfg := baseConfig(sys, 500e6, 3, sc)
+			cfg.Topology.Clients = n
+			c, err := cluster.New(cfg)
+			if err != nil {
+				return res, err
+			}
+			spec := dcSpec(sc)
+			spec.Clients = n
+			// fixed per-client demand: total arrivals scale with n
+			spec.ArrivalRate = spec.ArrivalRate * float64(n) / 40
+			reqs := spec.Generate(sim.NewRNG(sc.Seed), sc.Duration)
+			m := c.RunWorkload(reqs, sc.Duration*3)
+			res.Series[si].Points = append(res.Series[si].Points,
+				stats.Point{X: float64(n), Y: m.MeanFCT()})
+		}
+	}
+	return res, nil
+}
+
+// NNSScaleSweep varies the name-node count and records the hottest node's
+// metadata load, quantifying the paper's multiple-NNS scalability claim as
+// a curve (extends ablation A5).
+func NNSScaleSweep(nnsCounts []int, sc Scale) (SweepResult, error) {
+	if len(nnsCounts) == 0 {
+		nnsCounts = []int{1, 2, 4, 8}
+	}
+	res := SweepResult{
+		ID:     "sweep-nns",
+		Title:  "peak per-NNS metadata load vs name-node count",
+		XLabel: "name nodes",
+		YLabel: "peak requests at one NNS",
+		Series: []stats.Series{{Name: "SCDA"}},
+	}
+	for _, n := range nnsCounts {
+		if n <= 0 {
+			return res, fmt.Errorf("experiments: NNS count %d", n)
+		}
+		cfg := cluster.DefaultConfig(cluster.SCDA)
+		cfg.Seed = sc.Seed
+		cfg.NumNNS = n
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return res, err
+		}
+		reqs := dcSpec(sc).Generate(sim.NewRNG(sc.Seed), sc.Duration)
+		c.RunWorkload(reqs, sc.Duration*2)
+		peak := int64(0)
+		for _, l := range c.FES.LoadByNNS() {
+			if l > peak {
+				peak = l
+			}
+		}
+		res.Series[0].Points = append(res.Series[0].Points,
+			stats.Point{X: float64(n), Y: float64(peak)})
+	}
+	return res, nil
+}

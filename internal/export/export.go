@@ -1,0 +1,94 @@
+// Package export writes experiment series to CSV so the figure data can be
+// plotted with any tool (gnuplot, matplotlib) or diffed across runs.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// WriteSeries emits one CSV with a column per series: x, then one y column
+// per series (rows aligned by index; series of different lengths pad with
+// empty cells). All series are assumed to share x semantics.
+func WriteSeries(w io.Writer, series []stats.Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{"x"}
+	maxLen := 0
+	for _, s := range series {
+		header = append(header, s.Name)
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(series)+1)
+		x := ""
+		for _, s := range series {
+			if i < len(s.Points) {
+				x = strconv.FormatFloat(s.Points[i].X, 'g', -1, 64)
+				break
+			}
+		}
+		row = append(row, x)
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, strconv.FormatFloat(s.Points[i].Y, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesLong emits tidy long-format CSV: series,x,y — one row per
+// point, robust to series with different x grids (CDFs).
+func WriteSeriesLong(w io.Writer, series []stats.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if err := cw.Write([]string{
+				s.Name,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveSeries writes long-format CSV to dir/name.csv, creating dir.
+func SaveSeries(dir, name string, series []stats.Series) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := WriteSeriesLong(f, series); err != nil {
+		return "", fmt.Errorf("export: writing %s: %w", path, err)
+	}
+	return path, nil
+}

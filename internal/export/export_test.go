@@ -1,0 +1,88 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleSeries() []stats.Series {
+	return []stats.Series{
+		{Name: "SCDA", Points: []stats.Point{{X: 1, Y: 10}, {X: 2, Y: 20}}},
+		{Name: "RandTCP", Points: []stats.Point{{X: 1, Y: 5}}},
+	}
+}
+
+func TestWriteSeriesWide(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 data rows
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "x" || rows[0][1] != "SCDA" || rows[0][2] != "RandTCP" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][1] != "10" || rows[1][2] != "5" {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+	// ragged series pads with empty
+	if rows[2][2] != "" {
+		t.Fatalf("row 2 = %v", rows[2])
+	}
+}
+
+func TestWriteSeriesLong(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesLong(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 points
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0] != "SCDA" || rows[3][0] != "RandTCP" {
+		t.Fatalf("series column wrong: %v", rows)
+	}
+}
+
+func TestSaveSeries(t *testing.T) {
+	dir := t.TempDir()
+	path, err := SaveSeries(filepath.Join(dir, "nested"), "fig07", sampleSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y") {
+		t.Fatalf("unexpected content: %q", data[:20])
+	}
+	if !strings.HasSuffix(path, "fig07.csv") {
+		t.Fatalf("path = %s", path)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSeriesLong(&buf, []stats.Series{{Name: "empty"}}); err != nil {
+		t.Fatal(err)
+	}
+}

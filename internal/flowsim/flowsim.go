@@ -1,0 +1,240 @@
+// Package flowsim is a fluid-level flow simulator: flows progress at
+// exact max-min fair rates computed by progressive filling, with rate
+// recomputation at every flow arrival and departure.
+//
+// It serves two purposes in the reproduction:
+//
+//  1. Oracle: progressive filling is the textbook max-min allocation; the
+//     ablation experiments compare the SCDA RM/RA controller's converged
+//     rates against it to validate the eq. 2/3 mechanism.
+//  2. Scale: fluid simulation is orders of magnitude faster than
+//     packet-level simulation, enabling large-n sweeps of placement
+//     policies where packet dynamics don't matter.
+package flowsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Flow is one fluid transfer.
+type Flow struct {
+	ID     int64
+	Path   []topology.LinkID
+	Size   float64 // bits remaining
+	Weight float64 // max-min weight (1 = neutral)
+
+	// Rate is the current max-min rate (bits/sec), valid between events.
+	Rate float64
+	// Start and Finish are set by the simulator.
+	Start  float64
+	Finish float64
+
+	done bool
+}
+
+// MaxMinRates computes weighted max-min fair rates by progressive filling:
+// repeatedly find the most constrained link, freeze its unfrozen flows at
+// the equal (weighted) share, subtract, repeat. capacities maps directed
+// links to bits/sec. The result assigns every active flow a rate.
+func MaxMinRates(flows []*Flow, capacities []float64) {
+	type linkAgg struct {
+		cap    float64
+		weight float64 // sum of unfrozen flow weights
+	}
+	links := make(map[topology.LinkID]*linkAgg)
+	for _, f := range flows {
+		if f.done {
+			continue
+		}
+		f.Rate = 0
+		for _, l := range f.Path {
+			la, ok := links[l]
+			if !ok {
+				la = &linkAgg{cap: capacities[l]}
+				links[l] = la
+			}
+			la.weight += f.Weight
+		}
+	}
+	frozen := make(map[int64]bool)
+	remaining := 0
+	for _, f := range flows {
+		if !f.done {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		// most constrained link: min cap/weight among links with demand
+		minShare := math.Inf(1)
+		for _, la := range links {
+			if la.weight > 0 {
+				if s := la.cap / la.weight; s < minShare {
+					minShare = s
+				}
+			}
+		}
+		if math.IsInf(minShare, 1) {
+			break // leftover flows traverse only unconstrained links
+		}
+		// freeze flows on saturated links at weight×share
+		for _, f := range flows {
+			if f.done || frozen[f.ID] {
+				continue
+			}
+			saturated := false
+			for _, l := range f.Path {
+				la := links[l]
+				if la.weight > 0 && la.cap/la.weight <= minShare*(1+1e-12) {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				continue
+			}
+			f.Rate = f.Weight * minShare
+			frozen[f.ID] = true
+			remaining--
+			for _, l := range f.Path {
+				la := links[l]
+				la.cap -= f.Rate
+				if la.cap < 0 {
+					la.cap = 0
+				}
+				la.weight -= f.Weight
+			}
+		}
+	}
+}
+
+// Simulator advances fluid flows through arrivals and completions.
+type Simulator struct {
+	g          *topology.Graph
+	capacities []float64
+	now        float64
+	active     []*Flow
+	pending    *arrivalHeap
+	// Completed collects finished flows in completion order.
+	Completed []*Flow
+}
+
+type arrival struct {
+	at   float64
+	flow *Flow
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int           { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// New creates a fluid simulator over a graph.
+func New(g *topology.Graph) *Simulator {
+	caps := make([]float64, len(g.Links))
+	for i, l := range g.Links {
+		caps[i] = l.Capacity
+	}
+	return &Simulator{g: g, capacities: caps, pending: &arrivalHeap{}}
+}
+
+// Now returns the fluid clock.
+func (s *Simulator) Now() float64 { return s.now }
+
+// AddFlow schedules a flow arrival. Size is in bits.
+func (s *Simulator) AddFlow(at float64, f *Flow) error {
+	if f.Size <= 0 {
+		return fmt.Errorf("flowsim: flow %d size %v", f.ID, f.Size)
+	}
+	if len(f.Path) == 0 {
+		return fmt.Errorf("flowsim: flow %d empty path", f.ID)
+	}
+	if f.Weight <= 0 {
+		f.Weight = 1
+	}
+	if at < s.now {
+		return fmt.Errorf("flowsim: arrival %v in the past (now %v)", at, s.now)
+	}
+	heap.Push(s.pending, arrival{at: at, flow: f})
+	return nil
+}
+
+// Run advances until all flows complete or the horizon is reached.
+func (s *Simulator) Run(horizon float64) {
+	for {
+		// next arrival time
+		nextArr := math.Inf(1)
+		if s.pending.Len() > 0 {
+			nextArr = (*s.pending)[0].at
+		}
+		if len(s.active) == 0 {
+			if math.IsInf(nextArr, 1) || nextArr > horizon {
+				s.now = math.Min(horizon, math.Max(s.now, horizon))
+				return
+			}
+			s.now = nextArr
+			s.admitArrivals()
+			continue
+		}
+		MaxMinRates(s.active, s.capacities)
+		// earliest completion among active flows
+		nextDone := math.Inf(1)
+		for _, f := range s.active {
+			if f.Rate > 0 {
+				if t := s.now + f.Size/f.Rate; t < nextDone {
+					nextDone = t
+				}
+			}
+		}
+		next := math.Min(nextArr, nextDone)
+		if next > horizon {
+			s.drainTo(horizon)
+			return
+		}
+		s.drainTo(next)
+		s.admitArrivals()
+		s.reapCompleted()
+	}
+}
+
+func (s *Simulator) drainTo(t float64) {
+	dt := t - s.now
+	if dt < 0 {
+		return
+	}
+	for _, f := range s.active {
+		f.Size -= f.Rate * dt
+	}
+	s.now = t
+}
+
+func (s *Simulator) admitArrivals() {
+	for s.pending.Len() > 0 && (*s.pending)[0].at <= s.now+1e-12 {
+		a := heap.Pop(s.pending).(arrival)
+		a.flow.Start = s.now
+		s.active = append(s.active, a.flow)
+	}
+}
+
+func (s *Simulator) reapCompleted() {
+	kept := s.active[:0]
+	for _, f := range s.active {
+		if f.Size <= 1e-6 {
+			f.done = true
+			f.Finish = s.now
+			s.Completed = append(s.Completed, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	s.active = kept
+}
+
+// Active returns the number of in-flight flows.
+func (s *Simulator) Active() int { return len(s.active) }

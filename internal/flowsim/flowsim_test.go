@@ -1,0 +1,228 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func chain(capacities ...float64) (*topology.Graph, []topology.LinkID) {
+	g := topology.NewGraph()
+	prev := g.AddNode(topology.Host, "h0", 0)
+	var path []topology.LinkID
+	for i, c := range capacities {
+		var next topology.NodeID
+		if i == len(capacities)-1 {
+			next = g.AddNode(topology.Host, "hN", 0)
+		} else {
+			next = g.AddNode(topology.Switch, "s", 1)
+		}
+		path = append(path, g.AddDuplex(prev, next, c, 1e-3, 1))
+		prev = next
+	}
+	return g, path
+}
+
+func caps(g *topology.Graph) []float64 {
+	out := make([]float64, len(g.Links))
+	for i, l := range g.Links {
+		out[i] = l.Capacity
+	}
+	return out
+}
+
+func TestMaxMinSingleLink(t *testing.T) {
+	g, path := chain(10e6)
+	flows := []*Flow{
+		{ID: 1, Path: path, Size: 1, Weight: 1},
+		{ID: 2, Path: path, Size: 1, Weight: 1},
+	}
+	MaxMinRates(flows, caps(g))
+	for _, f := range flows {
+		if math.Abs(f.Rate-5e6) > 1 {
+			t.Fatalf("flow %d rate %v, want 5e6", f.ID, f.Rate)
+		}
+	}
+}
+
+func TestMaxMinTextbookExample(t *testing.T) {
+	// classic: links A (10) and B (4) in series for flow 2; flow 1 on A
+	// only; flow 3 on B only. Max-min: flow 2 and 3 split B (2 each),
+	// flow 1 gets the rest of A (8).
+	g := topology.NewGraph()
+	h0 := g.AddNode(topology.Host, "h0", 0)
+	s1 := g.AddNode(topology.Switch, "s1", 1)
+	h1 := g.AddNode(topology.Host, "h1", 0)
+	lA := g.AddDuplex(h0, s1, 10, 1e-3, 1)
+	lB := g.AddDuplex(s1, h1, 4, 1e-3, 1)
+	flows := []*Flow{
+		{ID: 1, Path: []topology.LinkID{lA}, Size: 1, Weight: 1},
+		{ID: 2, Path: []topology.LinkID{lA, lB}, Size: 1, Weight: 1},
+		{ID: 3, Path: []topology.LinkID{lB}, Size: 1, Weight: 1},
+	}
+	MaxMinRates(flows, caps(g))
+	want := map[int64]float64{1: 8, 2: 2, 3: 2}
+	for _, f := range flows {
+		if math.Abs(f.Rate-want[f.ID]) > 1e-9 {
+			t.Fatalf("flow %d rate %v, want %v", f.ID, f.Rate, want[f.ID])
+		}
+	}
+}
+
+func TestMaxMinWeights(t *testing.T) {
+	g, path := chain(9e6)
+	flows := []*Flow{
+		{ID: 1, Path: path, Size: 1, Weight: 2},
+		{ID: 2, Path: path, Size: 1, Weight: 1},
+	}
+	MaxMinRates(flows, caps(g))
+	if math.Abs(flows[0].Rate-6e6) > 1 || math.Abs(flows[1].Rate-3e6) > 1 {
+		t.Fatalf("weighted rates %v, %v", flows[0].Rate, flows[1].Rate)
+	}
+}
+
+func TestMaxMinConservation(t *testing.T) {
+	// property: on a single shared link rates sum to capacity
+	g, path := chain(100e6)
+	f := func(n uint8) bool {
+		k := int(n%12) + 1
+		flows := make([]*Flow, k)
+		for i := range flows {
+			flows[i] = &Flow{ID: int64(i), Path: path, Size: 1, Weight: 1}
+		}
+		MaxMinRates(flows, caps(g))
+		sum := 0.0
+		for _, fl := range flows {
+			sum += fl.Rate
+		}
+		return math.Abs(sum-100e6) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulatorSingleFlow(t *testing.T) {
+	g, path := chain(10e6)
+	s := New(g)
+	fl := &Flow{ID: 1, Path: path, Size: 10e6} // 1 second at capacity
+	if err := s.AddFlow(0, fl); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	if len(s.Completed) != 1 {
+		t.Fatal("flow incomplete")
+	}
+	if math.Abs(fl.Finish-1.0) > 1e-9 {
+		t.Fatalf("finish at %v, want 1.0", fl.Finish)
+	}
+}
+
+func TestSimulatorSharingThenSpeedup(t *testing.T) {
+	// two equal flows: both at C/2 until the first finishes, then the
+	// survivor speeds up. Flow 2 arrives later so it finishes later.
+	g, path := chain(10e6)
+	s := New(g)
+	f1 := &Flow{ID: 1, Path: path, Size: 10e6}
+	f2 := &Flow{ID: 2, Path: path, Size: 10e6}
+	s.AddFlow(0, f1)
+	s.AddFlow(0.5, f2)
+	s.Run(100)
+	if len(s.Completed) != 2 {
+		t.Fatal("flows incomplete")
+	}
+	// f1: 0.5s solo (5e6 done) + shared until done:
+	// remaining 5e6 at 5e6/s = 1s → finish 1.5
+	if math.Abs(f1.Finish-1.5) > 1e-6 {
+		t.Fatalf("f1 finish %v, want 1.5", f1.Finish)
+	}
+	// f2: 5e6 done by 1.5 (1s at 5e6/s), remaining 5e6 solo at 10e6/s =
+	// 0.5s → finish 2.0
+	if math.Abs(f2.Finish-2.0) > 1e-6 {
+		t.Fatalf("f2 finish %v, want 2.0", f2.Finish)
+	}
+}
+
+func TestSimulatorHorizonStopsEarly(t *testing.T) {
+	g, path := chain(1e6)
+	s := New(g)
+	fl := &Flow{ID: 1, Path: path, Size: 100e6} // needs 100 s
+	s.AddFlow(0, fl)
+	s.Run(10)
+	if len(s.Completed) != 0 {
+		t.Fatal("flow completed past horizon")
+	}
+	if s.Active() != 1 {
+		t.Fatal("flow lost")
+	}
+	if math.Abs(s.Now()-10) > 1e-9 {
+		t.Fatalf("clock at %v", s.Now())
+	}
+}
+
+func TestSimulatorValidation(t *testing.T) {
+	g, path := chain(1e6)
+	s := New(g)
+	if err := s.AddFlow(0, &Flow{ID: 1, Path: path, Size: 0}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if err := s.AddFlow(0, &Flow{ID: 1, Path: nil, Size: 1}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	s.Run(1)
+	if err := s.AddFlow(0.5, &Flow{ID: 1, Path: path, Size: 1}); err == nil {
+		t.Fatal("past arrival accepted")
+	}
+}
+
+func TestFluidOnTreeTopology(t *testing.T) {
+	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := topology.ComputeRouting(tt.Graph)
+	s := New(tt.Graph)
+	for i := 0; i < 50; i++ {
+		src := tt.Clients[i%len(tt.Clients)]
+		dst := tt.Servers[(i*3)%len(tt.Servers)]
+		path, err := r.Path(src, dst, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddFlow(float64(i)*0.01, &Flow{ID: int64(i), Path: path, Size: 8e6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(1000)
+	if len(s.Completed) != 50 {
+		t.Fatalf("completed %d of 50", len(s.Completed))
+	}
+	for _, f := range s.Completed {
+		if f.Finish <= f.Start {
+			t.Fatal("non-positive FCT")
+		}
+	}
+}
+
+func BenchmarkFluid1000Flows(b *testing.B) {
+	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := topology.ComputeRouting(tt.Graph)
+	for i := 0; i < b.N; i++ {
+		s := New(tt.Graph)
+		for j := 0; j < 1000; j++ {
+			src := tt.Clients[j%len(tt.Clients)]
+			dst := tt.Servers[(j*3)%len(tt.Servers)]
+			path, _ := r.Path(src, dst, uint64(j))
+			s.AddFlow(float64(j)*0.001, &Flow{ID: int64(j), Path: path, Size: 1e6})
+		}
+		s.Run(1e6)
+		if len(s.Completed) != 1000 {
+			b.Fatal("incomplete")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package hostres models per-server CPU and disk service capacity — the
+// R_other term of section VI-A that makes SCDA "a multi-resource
+// allocation mechanism": "the CPU of the server which sends or receives
+// flow j may be too busy with internal computations to serve external
+// write or read requests at the e2e link rate. Or the server may not have
+// enough disk space."
+//
+// Each host has a CPU service rate and a disk service rate (both in
+// bits/sec of deliverable content, obtained in practice by profiling
+// "what CPU and/or usage can serve what link rate"). Background
+// computation consumes a fraction of CPU; concurrent flows share the
+// remainder. The exported rate is an exponentially weighted average over
+// control intervals, matching the paper's "measured from the previous
+// control interval ... or the weighted average of previous intervals".
+package hostres
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Spec is a server's static service capability.
+type Spec struct {
+	// CPURate is the content-serving rate the CPU sustains when idle of
+	// background work (bits/sec). 0 means unconstrained.
+	CPURate float64
+	// DiskRate is the storage subsystem's sustainable rate (bits/sec).
+	// 0 means unconstrained.
+	DiskRate float64
+	// Background is the fraction of CPU consumed by internal computation
+	// (compaction, analytics, the paper's "other compute intensive or
+	// background tasks"), in [0,1).
+	Background float64
+}
+
+func (s Spec) validate() error {
+	if s.CPURate < 0 || s.DiskRate < 0 {
+		return fmt.Errorf("hostres: negative rate %+v", s)
+	}
+	if s.Background < 0 || s.Background >= 1 {
+		return fmt.Errorf("hostres: background fraction %v outside [0,1)", s.Background)
+	}
+	return nil
+}
+
+// Host tracks one server's live service state.
+type Host struct {
+	Node topology.NodeID
+	Spec Spec
+
+	active int     // concurrent flows served
+	avg    float64 // EWMA of the per-flow service rate
+	seeded bool
+}
+
+// Model owns all hosts.
+type Model struct {
+	hosts map[topology.NodeID]*Host
+	// Weight is the EWMA weight on the newest measurement.
+	Weight float64
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{hosts: make(map[topology.NodeID]*Host), Weight: 0.3}
+}
+
+// Add registers a host.
+func (m *Model) Add(node topology.NodeID, s Spec) (*Host, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := m.hosts[node]; dup {
+		return nil, fmt.Errorf("hostres: host %d already added", node)
+	}
+	h := &Host{Node: node, Spec: s}
+	m.hosts[node] = h
+	return h, nil
+}
+
+// Get returns a host, or nil.
+func (m *Model) Get(node topology.NodeID) *Host { return m.hosts[node] }
+
+// Begin records a flow starting service at the host.
+func (h *Host) Begin() { h.active++ }
+
+// End records a flow finishing; unmatched Ends are a caller bug and panic.
+func (h *Host) End() {
+	if h.active == 0 {
+		panic("hostres: End without Begin")
+	}
+	h.active--
+}
+
+// Active returns the concurrent flow count.
+func (h *Host) Active() int { return h.active }
+
+// instantaneous returns the current per-flow service rate: the tighter of
+// CPU-after-background and disk, split across active flows.
+func (h *Host) instantaneous() float64 {
+	cpu := math.Inf(1)
+	if h.Spec.CPURate > 0 {
+		cpu = h.Spec.CPURate * (1 - h.Spec.Background)
+	}
+	disk := math.Inf(1)
+	if h.Spec.DiskRate > 0 {
+		disk = h.Spec.DiskRate
+	}
+	agg := math.Min(cpu, disk)
+	if math.IsInf(agg, 1) {
+		return agg
+	}
+	n := h.active
+	if n < 1 {
+		n = 1
+	}
+	return agg / float64(n)
+}
+
+// Sample folds the current instantaneous rate into the EWMA (call once per
+// control interval) and returns the smoothed R_other.
+func (m *Model) Sample(h *Host) float64 {
+	inst := h.instantaneous()
+	if math.IsInf(inst, 1) {
+		h.avg = inst
+		h.seeded = true
+		return inst
+	}
+	if !h.seeded {
+		h.avg = inst
+		h.seeded = true
+	} else {
+		h.avg = (1-m.Weight)*h.avg + m.Weight*inst
+	}
+	return h.avg
+}
+
+// ROther returns the smoothed per-flow service rate (+Inf when
+// unconstrained or never sampled on an unconstrained host).
+func (h *Host) ROther() float64 {
+	if !h.seeded {
+		return h.instantaneous()
+	}
+	return h.avg
+}

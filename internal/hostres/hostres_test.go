@@ -1,0 +1,124 @@
+package hostres
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddValidation(t *testing.T) {
+	m := NewModel()
+	if _, err := m.Add(1, Spec{CPURate: -1}); err == nil {
+		t.Fatal("negative CPU accepted")
+	}
+	if _, err := m.Add(1, Spec{Background: 1}); err == nil {
+		t.Fatal("background=1 accepted")
+	}
+	if _, err := m.Add(1, Spec{CPURate: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(1, Spec{}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if m.Get(1) == nil || m.Get(2) != nil {
+		t.Fatal("Get wrong")
+	}
+}
+
+func TestUnconstrainedIsInfinite(t *testing.T) {
+	m := NewModel()
+	h, _ := m.Add(1, Spec{})
+	if !math.IsInf(h.ROther(), 1) {
+		t.Fatal("unconstrained host not +Inf")
+	}
+	if !math.IsInf(m.Sample(h), 1) {
+		t.Fatal("sampled unconstrained host not +Inf")
+	}
+}
+
+func TestFlowSharingDividesCapacity(t *testing.T) {
+	m := NewModel()
+	m.Weight = 1 // no smoothing for exactness
+	h, _ := m.Add(1, Spec{CPURate: 100e6})
+	if got := m.Sample(h); got != 100e6 {
+		t.Fatalf("idle rate = %v", got)
+	}
+	h.Begin()
+	h.Begin()
+	h.Begin()
+	h.Begin()
+	if got := m.Sample(h); got != 25e6 {
+		t.Fatalf("4-flow rate = %v, want 25e6", got)
+	}
+	h.End()
+	h.End()
+	if got := m.Sample(h); got != 50e6 {
+		t.Fatalf("2-flow rate = %v, want 50e6", got)
+	}
+}
+
+func TestBackgroundLoadReducesCPU(t *testing.T) {
+	m := NewModel()
+	m.Weight = 1
+	h, _ := m.Add(1, Spec{CPURate: 100e6, Background: 0.6})
+	if got := m.Sample(h); math.Abs(got-40e6) > 1 {
+		t.Fatalf("rate with 60%% background = %v, want 40e6", got)
+	}
+}
+
+func TestDiskBindsWhenSlower(t *testing.T) {
+	m := NewModel()
+	m.Weight = 1
+	h, _ := m.Add(1, Spec{CPURate: 1e9, DiskRate: 30e6})
+	if got := m.Sample(h); got != 30e6 {
+		t.Fatalf("disk-bound rate = %v", got)
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	m := NewModel() // weight 0.3
+	h, _ := m.Add(1, Spec{CPURate: 100e6})
+	m.Sample(h) // seeds at 100e6
+	h.Begin()   // instantaneous drops to 100e6 (1 flow still /1)
+	h.Begin()   // now /2 = 50e6
+	got := m.Sample(h)
+	want := 0.7*100e6 + 0.3*50e6
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("smoothed = %v, want %v", got, want)
+	}
+	if h.ROther() != got {
+		t.Fatal("ROther does not return the EWMA")
+	}
+}
+
+func TestEndWithoutBeginPanics(t *testing.T) {
+	m := NewModel()
+	h, _ := m.Add(1, Spec{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched End did not panic")
+		}
+	}()
+	h.End()
+}
+
+func TestRatePositiveProperty(t *testing.T) {
+	m := NewModel()
+	h, _ := m.Add(1, Spec{CPURate: 50e6, DiskRate: 80e6, Background: 0.2})
+	f := func(ops []bool) bool {
+		for _, begin := range ops {
+			if begin {
+				h.Begin()
+			} else if h.Active() > 0 {
+				h.End()
+			}
+			if r := m.Sample(h); r <= 0 || math.IsNaN(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package netsim is a packet-level datacenter network simulator — the
+// repository's stand-in for NS2, in which the paper implemented SCDA.
+//
+// It simulates store-and-forward transmission over the links of a
+// topology.Graph: each link has finite capacity, propagation delay, and a
+// drop-tail FIFO queue (optionally the per-flow packet-count discipline of
+// section IV-B, which approximates shortest-job-first the way the paper
+// describes OpenFlow switches doing it). Switches forward by destination
+// using ECMP routing; hosts hand received packets to registered transport
+// endpoints (TCP Reno for the RandTCP baseline, the SCDA windowed transport
+// for SCDA).
+//
+// The per-link byte and queue counters feed the SCDA resource monitors and
+// allocators: Q(t) and Λ(t) in equations 2 and 5 are read directly from the
+// simulated switch interfaces, mirroring how the paper's RMs and RAs "get
+// the values of Q from the local switch ... as all switches maintain the
+// queue length in each of their interfaces".
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Packet is a simulated datagram.
+type Packet struct {
+	Flow    FlowID
+	Src     topology.NodeID
+	Dst     topology.NodeID
+	Seq     int64
+	Ack     bool
+	AckSeq  int64
+	Size    int // bytes on the wire
+	Hash    uint64
+	SentAt  sim.Time // stamped at first transmission by the sender
+	Payload any      // transport-specific extra state
+}
+
+// FlowID identifies a transport flow end-to-end.
+type FlowID int64
+
+// Handler receives packets addressed to a host.
+type Handler func(*Packet)
+
+// QueueDiscipline selects the per-port scheduling behaviour.
+type QueueDiscipline int
+
+const (
+	// FIFO is drop-tail first-in-first-out (default, NS2 DropTail).
+	FIFO QueueDiscipline = iota
+	// SmallestFlowFirst serves the queued packet whose flow has the
+	// smallest cumulative packet count through this port: the OpenFlow
+	// SJF approximation of section IV-B.
+	SmallestFlowFirst
+)
+
+// LinkStats aggregates per-link counters for the monitors and for
+// experiment reporting.
+type LinkStats struct {
+	// QueuedBytes is the current queue occupancy (the Q(t) of eq. 2,
+	// in bytes; monitors convert to bits).
+	QueuedBytes int
+	// ArrivedBytes counts all bytes that arrived at this port since the
+	// simulation started (feeds Λ in eq. 5 via interval differencing).
+	ArrivedBytes int64
+	// SentBytes counts bytes fully transmitted.
+	SentBytes int64
+	// Drops counts packets discarded by drop-tail.
+	Drops int64
+	// Packets counts packet arrivals.
+	Packets int64
+}
+
+type linkState struct {
+	link      topology.Link
+	queue     []*Packet
+	queuedB   int
+	limitB    int
+	busy      bool
+	stats     LinkStats
+	flowCount map[FlowID]int64 // cumulative packets per flow (SJF discipline)
+}
+
+// Config tunes the network simulation.
+type Config struct {
+	// QueueBytes is the per-port buffer in bytes. The fig. 6 fabric has
+	// 10 ms links and 50 ms WAN access, so the bandwidth-delay product at
+	// X = 500 Mb/s is several megabytes; the 1 MB default is a fraction
+	// of BDP (as in the paper's NS2 setup, where DropTail buffers absorb
+	// multi-RTT transients) while still small enough that a congested
+	// port drops rather than buffering indefinitely.
+	QueueBytes int
+	// Discipline selects FIFO or SmallestFlowFirst.
+	Discipline QueueDiscipline
+}
+
+// DefaultConfig returns the standard drop-tail configuration.
+func DefaultConfig() Config {
+	return Config{QueueBytes: 1 << 20, Discipline: FIFO}
+}
+
+// Network binds a topology, routing tables and the event engine into a
+// running packet network.
+type Network struct {
+	Sim    *sim.Simulator
+	Graph  *topology.Graph
+	Routes *topology.Routing
+	cfg    Config
+
+	links    []*linkState
+	handlers []Handler
+
+	// TotalDrops counts drops across all ports.
+	TotalDrops int64
+	// Delivered counts packets handed to host handlers.
+	Delivered int64
+
+	// OnDeliver, when set, observes every packet handed to a host
+	// handler (experiment instrumentation).
+	OnDeliver func(*Packet)
+}
+
+// New creates a network over the graph with routing precomputed.
+func New(s *sim.Simulator, g *topology.Graph, cfg Config) *Network {
+	if cfg.QueueBytes <= 0 {
+		panic("netsim: QueueBytes must be positive")
+	}
+	n := &Network{
+		Sim:      s,
+		Graph:    g,
+		Routes:   topology.ComputeRouting(g),
+		cfg:      cfg,
+		links:    make([]*linkState, len(g.Links)),
+		handlers: make([]Handler, len(g.Nodes)),
+	}
+	for i, l := range g.Links {
+		ls := &linkState{link: l, limitB: cfg.QueueBytes}
+		if cfg.Discipline == SmallestFlowFirst {
+			ls.flowCount = make(map[FlowID]int64)
+		}
+		n.links[i] = ls
+	}
+	return n
+}
+
+// Listen registers the packet handler for a host node. A nil handler
+// unregisters.
+func (n *Network) Listen(node topology.NodeID, h Handler) {
+	n.handlers[node] = h
+}
+
+// Send injects a packet at its source host. The packet is forwarded hop by
+// hop to pkt.Dst; delivery invokes the destination's handler. Packets to
+// unreachable destinations are dropped silently (counted in TotalDrops).
+func (n *Network) Send(pkt *Packet) {
+	if pkt.Size <= 0 {
+		panic(fmt.Sprintf("netsim: packet with size %d", pkt.Size))
+	}
+	n.forward(pkt.Src, pkt)
+}
+
+func (n *Network) forward(at topology.NodeID, pkt *Packet) {
+	if at == pkt.Dst {
+		n.deliver(pkt)
+		return
+	}
+	lid, err := n.Routes.NextLink(at, pkt.Dst, pkt.Hash)
+	if err != nil {
+		n.TotalDrops++
+		return
+	}
+	n.enqueue(n.links[lid], pkt)
+}
+
+func (n *Network) deliver(pkt *Packet) {
+	n.Delivered++
+	if n.OnDeliver != nil {
+		n.OnDeliver(pkt)
+	}
+	if h := n.handlers[pkt.Dst]; h != nil {
+		h(pkt)
+	}
+}
+
+func (n *Network) enqueue(ls *linkState, pkt *Packet) {
+	ls.stats.ArrivedBytes += int64(pkt.Size)
+	ls.stats.Packets++
+	if ls.queuedB+pkt.Size > ls.limitB {
+		ls.stats.Drops++
+		n.TotalDrops++
+		return
+	}
+	ls.queue = append(ls.queue, pkt)
+	ls.queuedB += pkt.Size
+	ls.stats.QueuedBytes = ls.queuedB
+	if ls.flowCount != nil {
+		ls.flowCount[pkt.Flow]++
+	}
+	if !ls.busy {
+		n.startTx(ls)
+	}
+}
+
+// pickNext chooses which queued packet to transmit next per the discipline.
+func (ls *linkState) pickNext() int {
+	if ls.flowCount == nil || len(ls.queue) == 1 {
+		return 0
+	}
+	best := 0
+	bestCount := ls.flowCount[ls.queue[0].Flow]
+	for i := 1; i < len(ls.queue); i++ {
+		if c := ls.flowCount[ls.queue[i].Flow]; c < bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best
+}
+
+func (n *Network) startTx(ls *linkState) {
+	i := ls.pickNext()
+	pkt := ls.queue[i]
+	copy(ls.queue[i:], ls.queue[i+1:])
+	ls.queue[len(ls.queue)-1] = nil
+	ls.queue = ls.queue[:len(ls.queue)-1]
+	ls.queuedB -= pkt.Size
+	ls.stats.QueuedBytes = ls.queuedB
+	ls.busy = true
+
+	txTime := float64(pkt.Size*8) / ls.link.Capacity
+	// transmission complete: free the port, chain the next packet
+	n.Sim.After(txTime, func() {
+		ls.busy = false
+		ls.stats.SentBytes += int64(pkt.Size)
+		if len(ls.queue) > 0 {
+			n.startTx(ls)
+		}
+	})
+	// arrival at the far end after propagation
+	n.Sim.After(txTime+ls.link.Delay, func() {
+		n.forward(ls.link.To, pkt)
+	})
+}
+
+// SetCapacity changes a link's transmission capacity at runtime — the
+// "reserve, backup or recovery links" activation of section IV-A. It
+// affects packets whose transmission starts after the call.
+func (n *Network) SetCapacity(l topology.LinkID, capacity float64) {
+	if capacity <= 0 {
+		panic("netsim: non-positive capacity")
+	}
+	n.links[l].link.Capacity = capacity
+}
+
+// Stats returns a copy of the counters for a link.
+func (n *Network) Stats(l topology.LinkID) LinkStats {
+	return n.links[l].stats
+}
+
+// QueueBits returns the instantaneous queue occupancy of a link in bits —
+// the Q_{d,u}(t) term the RM/RA read from their local switch.
+func (n *Network) QueueBits(l topology.LinkID) float64 {
+	return float64(n.links[l].queuedB * 8)
+}
+
+// ArrivedBits returns cumulative arrived bits on a link; monitors diff
+// successive readings to get the per-interval L (and Λ = L/τ) of eq. 5.
+func (n *Network) ArrivedBits(l topology.LinkID) float64 {
+	return float64(n.links[l].stats.ArrivedBytes * 8)
+}
+
+// LinkUtilization returns sent bits divided by capacity×elapsed, a
+// diagnostic for experiments.
+func (n *Network) LinkUtilization(l topology.LinkID, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.links[l].stats.SentBytes*8) / (n.links[l].link.Capacity * elapsed)
+}

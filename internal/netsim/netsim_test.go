@@ -1,0 +1,306 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// pair builds a two-host topology: a --(capacity, delay)-- b.
+func pair(capacity, delay float64) (*topology.Graph, topology.NodeID, topology.NodeID) {
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Host, "a", 0)
+	b := g.AddNode(topology.Host, "b", 0)
+	g.AddDuplex(a, b, capacity, delay, 1)
+	return g, a, b
+}
+
+func TestSingleLinkLatency(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e6, 0.010) // 1 Mb/s, 10 ms
+	n := New(s, g, DefaultConfig())
+	var arrived sim.Time = -1
+	n.Listen(b, func(p *Packet) { arrived = s.Now() })
+	n.Send(&Packet{Flow: 1, Src: a, Dst: b, Size: 1250}) // 10,000 bits
+	s.Run()
+	want := 10000.0/1e6 + 0.010 // tx + prop
+	if math.Abs(arrived-want) > 1e-12 {
+		t.Fatalf("arrival at %v, want %v", arrived, want)
+	}
+}
+
+func TestStoreAndForwardPipelining(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e6, 0.010)
+	n := New(s, g, DefaultConfig())
+	var arrivals []sim.Time
+	n.Listen(b, func(p *Packet) { arrivals = append(arrivals, s.Now()) })
+	for i := 0; i < 3; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Seq: int64(i), Size: 1250})
+	}
+	s.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("delivered %d", len(arrivals))
+	}
+	tx := 10000.0 / 1e6
+	for i, at := range arrivals {
+		want := tx*float64(i+1) + 0.010
+		if math.Abs(at-want) > 1e-12 {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e9, 1e-3)
+	n := New(s, g, DefaultConfig())
+	var seqs []int64
+	n.Listen(b, func(p *Packet) { seqs = append(seqs, p.Seq) })
+	for i := 0; i < 20; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Seq: int64(i), Size: 1500})
+	}
+	s.Run()
+	for i, q := range seqs {
+		if q != int64(i) {
+			t.Fatalf("out of order: %v", seqs)
+		}
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e3, 0.001) // 1 kb/s: everything queues
+	cfg := Config{QueueBytes: 3000, Discipline: FIFO}
+	n := New(s, g, cfg)
+	got := 0
+	n.Listen(b, func(p *Packet) { got++ })
+	// burst of 10 × 1500B; port fits 2 queued (3000B) + 1 transmitting
+	for i := 0; i < 10; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Seq: int64(i), Size: 1500})
+	}
+	s.Run()
+	if n.TotalDrops != 7 {
+		t.Fatalf("drops = %d, want 7", n.TotalDrops)
+	}
+	if got != 3 {
+		t.Fatalf("delivered = %d, want 3", got)
+	}
+	lid := topology.LinkID(0)
+	st := n.Stats(lid)
+	if st.Drops != 7 || st.Packets != 10 {
+		t.Fatalf("link stats = %+v", st)
+	}
+}
+
+func TestMultiHopDelivery(t *testing.T) {
+	s := sim.New()
+	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(s, tt.Graph, DefaultConfig())
+	src := tt.Clients[0]
+	dst := tt.Servers[len(tt.Servers)-1]
+	var at sim.Time = -1
+	n.Listen(dst, func(p *Packet) { at = s.Now() })
+	n.Send(&Packet{Flow: 9, Src: src, Dst: dst, Size: 1500, Hash: 42})
+	s.Run()
+	if at < 0 {
+		t.Fatal("packet not delivered across tree")
+	}
+	// ≥ propagation alone: 50ms + 3×10ms
+	if at < 0.080 {
+		t.Fatalf("arrival %v too early", at)
+	}
+}
+
+func TestQueueBitsTracksOccupancy(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e4, 0.001) // 10 kb/s, slow
+	n := New(s, g, DefaultConfig())
+	n.Listen(b, func(p *Packet) {})
+	for i := 0; i < 4; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Seq: int64(i), Size: 1000})
+	}
+	// at t=0+: one transmitting, three queued → 3000 B = 24000 bits
+	lid := topology.LinkID(0)
+	if q := n.QueueBits(lid); q != 24000 {
+		t.Fatalf("QueueBits = %v, want 24000", q)
+	}
+	s.Run()
+	if q := n.QueueBits(lid); q != 0 {
+		t.Fatalf("QueueBits after drain = %v", q)
+	}
+}
+
+func TestArrivedBitsCumulative(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e9, 0.001)
+	n := New(s, g, DefaultConfig())
+	n.Listen(b, func(p *Packet) {})
+	for i := 0; i < 5; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Size: 1500})
+	}
+	s.Run()
+	if got := n.ArrivedBits(0); got != 5*1500*8 {
+		t.Fatalf("ArrivedBits = %v", got)
+	}
+}
+
+func TestSmallestFlowFirstFavoursMice(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e5, 0.001) // slow link so the queue builds
+	cfg := Config{QueueBytes: 1 << 20, Discipline: SmallestFlowFirst}
+	n := New(s, g, cfg)
+	var order []FlowID
+	n.Listen(b, func(p *Packet) { order = append(order, p.Flow) })
+	// elephant flow 1 fills the queue first, then mouse flow 2 arrives
+	for i := 0; i < 10; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Seq: int64(i), Size: 1500})
+	}
+	s.After(0.001, func() {
+		n.Send(&Packet{Flow: 2, Src: a, Dst: b, Seq: 0, Size: 1500})
+	})
+	s.Run()
+	// the mouse packet must overtake most of the elephant's queue
+	pos := -1
+	for i, f := range order {
+		if f == 2 {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatal("mouse packet never delivered")
+	}
+	if pos > 2 {
+		t.Fatalf("SJF discipline did not prioritise the mouse: position %d in %v", pos, order)
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e6, 0.005)
+	n := New(s, g, DefaultConfig())
+	gotA, gotB := 0, 0
+	n.Listen(a, func(p *Packet) { gotA++ })
+	n.Listen(b, func(p *Packet) { gotB++ })
+	n.Send(&Packet{Flow: 1, Src: a, Dst: b, Size: 500})
+	n.Send(&Packet{Flow: 2, Src: b, Dst: a, Size: 500})
+	s.Run()
+	if gotA != 1 || gotB != 1 {
+		t.Fatalf("gotA=%d gotB=%d", gotA, gotB)
+	}
+}
+
+func TestSelfAddressedDeliveredImmediately(t *testing.T) {
+	s := sim.New()
+	g, a, _ := pair(1e6, 0.005)
+	n := New(s, g, DefaultConfig())
+	got := 0
+	n.Listen(a, func(p *Packet) { got++ })
+	n.Send(&Packet{Flow: 1, Src: a, Dst: a, Size: 100})
+	s.Run()
+	if got != 1 {
+		t.Fatal("self-addressed packet lost")
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e6, 0.005)
+	n := New(s, g, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size packet accepted")
+		}
+	}()
+	n.Send(&Packet{Flow: 1, Src: a, Dst: b, Size: 0})
+}
+
+func TestLinkUtilization(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e6, 0) // zero prop delay for exact accounting
+	n := New(s, g, DefaultConfig())
+	n.Listen(b, func(p *Packet) {})
+	// 1 Mb/s for 1 second = 125,000 bytes
+	for i := 0; i < 100; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Seq: int64(i), Size: 1250})
+	}
+	s.Run()
+	// total = 125,000 B = 1 s of tx time
+	u := n.LinkUtilization(0, 1.0)
+	if math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+func BenchmarkPacketForwarding(b *testing.B) {
+	s := sim.New()
+	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := New(s, tt.Graph, DefaultConfig())
+	dst := tt.Servers[0]
+	n.Listen(dst, func(p *Packet) {})
+	src := tt.Clients[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(&Packet{Flow: FlowID(i % 8), Src: src, Dst: dst, Seq: int64(i), Size: 1500, Hash: uint64(i % 8)})
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func TestSetCapacitySpeedsDrain(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e6, 0)
+	n := New(s, g, DefaultConfig())
+	var last sim.Time
+	n.Listen(b, func(p *Packet) { last = s.Now() })
+	for i := 0; i < 8; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Seq: int64(i), Size: 12500}) // 0.1 s each
+	}
+	// double the capacity after the first two packets have been sent
+	s.At(0.25, func() { n.SetCapacity(0, 2e6) })
+	s.Run()
+	// 2.5 packets at 1 Mb/s (0.1 s each) + remaining at 2 Mb/s (0.05 s):
+	// well below the all-slow total of 0.8 s
+	if last >= 0.8 || last < 0.25 {
+		t.Fatalf("last arrival %v, want in [0.25, 0.8)", last)
+	}
+}
+
+func TestSetCapacityRejectsNonPositive(t *testing.T) {
+	s := sim.New()
+	g, _, _ := pair(1e6, 0)
+	n := New(s, g, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	n.SetCapacity(0, 0)
+}
+
+func TestOnDeliverHookObservesPayloads(t *testing.T) {
+	s := sim.New()
+	g, a, b := pair(1e9, 1e-3)
+	n := New(s, g, DefaultConfig())
+	n.Listen(b, func(p *Packet) {})
+	seen := 0
+	n.OnDeliver = func(p *Packet) { seen += p.Size }
+	for i := 0; i < 3; i++ {
+		n.Send(&Packet{Flow: 1, Src: a, Dst: b, Seq: int64(i), Size: 1000})
+	}
+	s.Run()
+	if seen != 3000 {
+		t.Fatalf("OnDeliver saw %d bytes", seen)
+	}
+}

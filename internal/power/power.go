@@ -1,0 +1,253 @@
+// Package power models heterogeneous server energy consumption for SCDA's
+// power-aware server selection (section VII-D) and the dormant-server
+// scale-down of section VII-C.
+//
+// The paper's heterogeneity sources — "location of a server in a rack or
+// room, specifications and age of the server hardware and other
+// (processing) tasks" — are modelled as per-server draw parameters; the
+// measurement path mirrors the paper's temperature sensors: P(t) = T(t)/τ
+// with an optional running average weighting recent samples.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// State is a server power state.
+type State int
+
+const (
+	// Active serves traffic at full draw.
+	Active State = iota
+	// Dormant is the low-power, high-energy-saving inactive mode passive
+	// content is consolidated onto.
+	Dormant
+	// Transitioning covers the wake-up latency window between states.
+	Transitioning
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Dormant:
+		return "dormant"
+	default:
+		return "transitioning"
+	}
+}
+
+// Profile is a server's static power characteristics.
+type Profile struct {
+	// IdleWatts is the draw of an active but unloaded server.
+	IdleWatts float64
+	// PeakWatts is the draw at full utilisation.
+	PeakWatts float64
+	// DormantWatts is the draw in the dormant state.
+	DormantWatts float64
+	// WakeLatency is the dormant→active transition time in seconds whose
+	// avoidance the paper cites as an energy win for passive placement.
+	WakeLatency float64
+	// CoolingFactor models rack/room position: effective draw is
+	// multiplied by it (hot spots cost more cooling energy).
+	CoolingFactor float64
+}
+
+// DefaultProfile is a commodity 2013-era server.
+func DefaultProfile() Profile {
+	return Profile{IdleWatts: 150, PeakWatts: 300, DormantWatts: 15, WakeLatency: 2.0, CoolingFactor: 1.0}
+}
+
+func (p Profile) validate() error {
+	switch {
+	case p.IdleWatts <= 0 || p.PeakWatts < p.IdleWatts:
+		return fmt.Errorf("power: bad watt range %+v", p)
+	case p.DormantWatts < 0 || p.DormantWatts > p.IdleWatts:
+		return fmt.Errorf("power: bad dormant watts %+v", p)
+	case p.WakeLatency < 0 || p.CoolingFactor <= 0:
+		return fmt.Errorf("power: bad latency/cooling %+v", p)
+	}
+	return nil
+}
+
+// HeterogeneousProfile derives a varied profile from a server index and
+// RNG: rack position shifts cooling, age shifts peak draw — the paper's
+// heterogeneity sources.
+func HeterogeneousProfile(rng *sim.RNG) Profile {
+	p := DefaultProfile()
+	// age: up to +60% peak draw
+	age := 1 + 0.6*rng.Float64()
+	p.IdleWatts *= age
+	p.PeakWatts *= age
+	// rack position: ±25% cooling burden
+	p.CoolingFactor = 0.75 + 0.5*rng.Float64()
+	return p
+}
+
+// Server tracks one server's power state and cumulative energy.
+type Server struct {
+	Node    topology.NodeID
+	Profile Profile
+
+	state       State
+	wakeUntil   float64
+	utilization float64 // 0..1, set by the cluster from link usage
+
+	// measured power running average (the T(t)/τ sensor path)
+	avgPower float64
+	haveAvg  bool
+
+	energyJ    float64
+	lastUpdate float64
+}
+
+// Model owns the power state of all servers.
+type Model struct {
+	servers map[topology.NodeID]*Server
+	// AvgWeight weights the latest measurement in the running average
+	// ("with more weight to the latest power consumption measurement").
+	AvgWeight float64
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{servers: make(map[topology.NodeID]*Server), AvgWeight: 0.3}
+}
+
+// Add registers a server with a profile. Invalid profiles error.
+func (m *Model) Add(node topology.NodeID, p Profile) (*Server, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := m.servers[node]; dup {
+		return nil, fmt.Errorf("power: server %d already added", node)
+	}
+	s := &Server{Node: node, Profile: p, state: Active}
+	m.servers[node] = s
+	return s, nil
+}
+
+// Get returns a server's power tracker, or nil.
+func (m *Model) Get(node topology.NodeID) *Server { return m.servers[node] }
+
+// Each visits all servers.
+func (m *Model) Each(fn func(*Server)) {
+	for _, s := range m.servers {
+		fn(s)
+	}
+}
+
+// State returns the server's state at time now, resolving transitions.
+func (s *Server) State(now float64) State {
+	if s.state == Transitioning && now >= s.wakeUntil {
+		s.state = Active
+	}
+	return s.state
+}
+
+// SetUtilization records the server's current load fraction (0..1).
+func (s *Server) SetUtilization(u float64) {
+	s.utilization = math.Max(0, math.Min(1, u))
+}
+
+// Utilization returns the recorded load fraction.
+func (s *Server) Utilization() float64 { return s.utilization }
+
+// Draw returns instantaneous power draw in watts at time now: linear
+// interpolation between idle and peak by utilisation, scaled by cooling,
+// or the dormant floor.
+func (s *Server) Draw(now float64) float64 {
+	switch s.State(now) {
+	case Dormant:
+		return s.Profile.DormantWatts * s.Profile.CoolingFactor
+	case Transitioning:
+		// wake-up burns peak draw without serving — the latency cost the
+		// paper's passive-content placement avoids
+		return s.Profile.PeakWatts * s.Profile.CoolingFactor
+	default:
+		p := s.Profile.IdleWatts + (s.Profile.PeakWatts-s.Profile.IdleWatts)*s.utilization
+		return p * s.Profile.CoolingFactor
+	}
+}
+
+// Accrue integrates energy up to time now; call it before state changes
+// and when sampling.
+func (s *Server) Accrue(now float64) {
+	if now > s.lastUpdate {
+		s.energyJ += s.Draw(now) * (now - s.lastUpdate)
+		s.lastUpdate = now
+	}
+}
+
+// EnergyJoules returns cumulative energy through the last Accrue.
+func (s *Server) EnergyJoules() float64 { return s.energyJ }
+
+// Sleep transitions the server to dormant (no-op when already dormant).
+func (s *Server) Sleep(now float64) {
+	s.Accrue(now)
+	s.state = Dormant
+}
+
+// Wake starts a dormant server's transition to active; it serves again
+// after WakeLatency.
+func (s *Server) Wake(now float64) {
+	if s.State(now) != Dormant {
+		return
+	}
+	s.Accrue(now)
+	s.state = Transitioning
+	s.wakeUntil = now + s.Profile.WakeLatency
+}
+
+// Measure records a power observation (the sensor path: P = T/τ) into the
+// running average and returns the current estimate.
+func (s *Server) Measure(m *Model, sample float64) float64 {
+	if !s.haveAvg {
+		s.avgPower = sample
+		s.haveAvg = true
+	} else {
+		s.avgPower = (1-m.AvgWeight)*s.avgPower + m.AvgWeight*sample
+	}
+	return s.avgPower
+}
+
+// MeasuredPower returns the running-average power estimate used by the
+// rate-to-power selection metric R̂/P; before any measurement it falls
+// back to the instantaneous draw.
+func (s *Server) MeasuredPower(now float64) float64 {
+	if s.haveAvg {
+		return s.avgPower
+	}
+	return s.Draw(now)
+}
+
+// RateToPower is the section VII-D selection metric R̂/P(t): higher is
+// better (more deliverable rate per watt).
+func (s *Server) RateToPower(rate, now float64) float64 {
+	p := s.MeasuredPower(now)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return rate / p
+}
+
+// TotalEnergy sums accrued energy over all servers (call Accrue first via
+// AccrueAll for an up-to-date figure).
+func (m *Model) TotalEnergy() float64 {
+	t := 0.0
+	for _, s := range m.servers {
+		t += s.energyJ
+	}
+	return t
+}
+
+// AccrueAll integrates all servers to time now.
+func (m *Model) AccrueAll(now float64) {
+	for _, s := range m.servers {
+		s.Accrue(now)
+	}
+}

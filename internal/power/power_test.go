@@ -1,0 +1,216 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func addServer(t *testing.T, m *Model, node int) *Server {
+	t.Helper()
+	s, err := m.Add(topology.NodeID(node), DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAddAndGet(t *testing.T) {
+	m := NewModel()
+	s := addServer(t, m, 1)
+	if m.Get(1) != s {
+		t.Fatal("Get mismatch")
+	}
+	if m.Get(2) != nil {
+		t.Fatal("missing server not nil")
+	}
+	if _, err := m.Add(1, DefaultProfile()); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	m := NewModel()
+	bad := []Profile{
+		{IdleWatts: 0, PeakWatts: 100, DormantWatts: 5, CoolingFactor: 1},
+		{IdleWatts: 200, PeakWatts: 100, DormantWatts: 5, CoolingFactor: 1},
+		{IdleWatts: 100, PeakWatts: 200, DormantWatts: 150, CoolingFactor: 1},
+		{IdleWatts: 100, PeakWatts: 200, DormantWatts: 5, CoolingFactor: 0},
+		{IdleWatts: 100, PeakWatts: 200, DormantWatts: 5, CoolingFactor: 1, WakeLatency: -1},
+	}
+	for i, p := range bad {
+		if _, err := m.Add(topology.NodeID(10+i), p); err == nil {
+			t.Errorf("profile %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestDrawInterpolation(t *testing.T) {
+	m := NewModel()
+	s := addServer(t, m, 1)
+	s.SetUtilization(0)
+	if got := s.Draw(0); got != 150 {
+		t.Fatalf("idle draw = %v", got)
+	}
+	s.SetUtilization(1)
+	if got := s.Draw(0); got != 300 {
+		t.Fatalf("peak draw = %v", got)
+	}
+	s.SetUtilization(0.5)
+	if got := s.Draw(0); got != 225 {
+		t.Fatalf("half draw = %v", got)
+	}
+	// clamping
+	s.SetUtilization(3)
+	if s.Utilization() != 1 {
+		t.Fatal("utilization not clamped")
+	}
+}
+
+func TestDormantAndWake(t *testing.T) {
+	m := NewModel()
+	s := addServer(t, m, 1)
+	s.Sleep(10)
+	if s.State(10) != Dormant {
+		t.Fatal("not dormant")
+	}
+	if got := s.Draw(10); got != 15 {
+		t.Fatalf("dormant draw = %v", got)
+	}
+	s.Wake(20)
+	if s.State(20) != Transitioning {
+		t.Fatal("not transitioning")
+	}
+	// during wake-up the server burns peak power without serving
+	if got := s.Draw(20.5); got != 300 {
+		t.Fatalf("transition draw = %v", got)
+	}
+	if s.State(22.1) != Active {
+		t.Fatal("not active after wake latency")
+	}
+	// waking an active server is a no-op
+	s.Wake(30)
+	if s.State(30) != Active {
+		t.Fatal("Wake on active server changed state")
+	}
+}
+
+func TestEnergyAccrual(t *testing.T) {
+	m := NewModel()
+	s := addServer(t, m, 1)
+	s.SetUtilization(0) // 150 W
+	s.Accrue(10)
+	if got := s.EnergyJoules(); math.Abs(got-1500) > 1e-9 {
+		t.Fatalf("energy = %v, want 1500 J", got)
+	}
+	s.Sleep(10) // 15 W from now
+	s.Accrue(20)
+	if got := s.EnergyJoules(); math.Abs(got-1650) > 1e-9 {
+		t.Fatalf("energy = %v, want 1650 J", got)
+	}
+	// accruing into the past is a no-op
+	s.Accrue(5)
+	if got := s.EnergyJoules(); math.Abs(got-1650) > 1e-9 {
+		t.Fatal("past accrual changed energy")
+	}
+}
+
+func TestDormantSavesEnergy(t *testing.T) {
+	m := NewModel()
+	active := addServer(t, m, 1)
+	dormant := addServer(t, m, 2)
+	dormant.Sleep(0)
+	m.AccrueAll(3600)
+	if dormant.EnergyJoules() >= active.EnergyJoules()/5 {
+		t.Fatalf("dormant %v J vs active %v J: insufficient saving",
+			dormant.EnergyJoules(), active.EnergyJoules())
+	}
+	if got := m.TotalEnergy(); math.Abs(got-(active.EnergyJoules()+dormant.EnergyJoules())) > 1e-9 {
+		t.Fatal("TotalEnergy mismatch")
+	}
+}
+
+func TestMeasureRunningAverage(t *testing.T) {
+	m := NewModel()
+	s := addServer(t, m, 1)
+	s.Measure(m, 100)
+	if got := s.MeasuredPower(0); got != 100 {
+		t.Fatalf("first measurement = %v", got)
+	}
+	s.Measure(m, 200)
+	// 0.7·100 + 0.3·200 = 130
+	if got := s.MeasuredPower(0); math.Abs(got-130) > 1e-9 {
+		t.Fatalf("averaged = %v, want 130", got)
+	}
+}
+
+func TestMeasuredPowerFallsBackToDraw(t *testing.T) {
+	m := NewModel()
+	s := addServer(t, m, 1)
+	s.SetUtilization(1)
+	if got := s.MeasuredPower(0); got != 300 {
+		t.Fatalf("fallback = %v, want instantaneous 300", got)
+	}
+}
+
+func TestRateToPower(t *testing.T) {
+	m := NewModel()
+	a := addServer(t, m, 1)
+	b := addServer(t, m, 2)
+	a.Measure(m, 300) // hot server
+	b.Measure(m, 100) // efficient server
+	rate := 1e9
+	if a.RateToPower(rate, 0) >= b.RateToPower(rate, 0) {
+		t.Fatal("efficient server must win R̂/P")
+	}
+}
+
+func TestHeterogeneousProfiles(t *testing.T) {
+	rng := sim.NewRNG(42)
+	seen := map[float64]bool{}
+	for i := 0; i < 20; i++ {
+		p := HeterogeneousProfile(rng)
+		if err := p.validate(); err != nil {
+			t.Fatalf("generated invalid profile: %v", err)
+		}
+		seen[p.PeakWatts] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("profiles not heterogeneous: %d distinct peaks", len(seen))
+	}
+}
+
+func TestEnergyMonotoneProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		m := NewModel()
+		s, _ := m.Add(1, DefaultProfile())
+		now, last := 0.0, 0.0
+		for _, st := range steps {
+			now += float64(st%10) + 0.1
+			s.Accrue(now)
+			if s.EnergyJoules() < last {
+				return false
+			}
+			last = s.EnergyJoules()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	m := NewModel()
+	for i := 0; i < 5; i++ {
+		addServer(t, m, i)
+	}
+	count := 0
+	m.Each(func(*Server) { count++ })
+	if count != 5 {
+		t.Fatalf("Each visited %d", count)
+	}
+}

@@ -1,0 +1,160 @@
+// Package scheduler implements SCDA's adaptive priority control (section
+// IV-A): each distributed source adjusts its flow's priority weight ℘ⱼ
+// every round so the allocation plane implicitly realises a scheduling
+// policy — "something like a shortest file (job) first (SJF) and early
+// deadline first (EDF) scheduling algorithms can be implemented by
+// assigning higher target rate for short or early deadline flows".
+//
+// Three policies are provided:
+//
+//   - TargetRate: drive a flow to an absolute rate by setting
+//     ℘ ← ℘ · R_target/R_current each round (the paper's update rule).
+//   - SJF: weight inversely proportional to remaining bytes, so short
+//     flows finish first without any switch support.
+//   - EDF: weight proportional to the rate needed to finish by the
+//     deadline (remaining / time-left), the fluid analogue of
+//     earliest-deadline-first.
+//
+// A Scheduler owns the per-flow policies and applies one weight update per
+// control interval through the ratealloc.Controller.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ratealloc"
+)
+
+// Policy computes a flow's next priority weight.
+type Policy interface {
+	// Weight returns the ℘ for the next round given the flow's current
+	// allocated rate and the time now. Implementations must return a
+	// positive, finite value.
+	Weight(currentRate, now float64) float64
+}
+
+// TargetRate drives the flow toward Rate (bits/sec) using the paper's
+// multiplicative rule ℘(t+τ) = R_desired / R_current per unit of current
+// weight.
+type TargetRate struct {
+	Rate float64
+	// prev tracks the weight we last requested, so the update composes
+	// correctly: new℘ = prev℘ × target/current.
+	prev float64
+}
+
+// Weight implements Policy.
+func (t *TargetRate) Weight(currentRate, now float64) float64 {
+	if t.prev <= 0 {
+		t.prev = 1
+	}
+	if currentRate <= 0 {
+		return t.prev
+	}
+	// currentRate ≈ prev℘ × base share; scale so next round's share hits
+	// the target
+	next := t.prev * t.Rate / currentRate
+	t.prev = clampWeight(next)
+	return t.prev
+}
+
+// SJF weights a flow by the inverse of its remaining size, normalised by
+// Scale (bytes): a flow with Scale bytes left has weight 1, one with
+// Scale/10 left has weight 10. Remaining is supplied by the caller via
+// SetRemaining as the transfer progresses.
+type SJF struct {
+	Scale     float64
+	remaining float64
+}
+
+// SetRemaining updates the bytes left to send.
+func (s *SJF) SetRemaining(bytes float64) { s.remaining = bytes }
+
+// Weight implements Policy.
+func (s *SJF) Weight(currentRate, now float64) float64 {
+	if s.Scale <= 0 {
+		s.Scale = 1 << 20
+	}
+	r := math.Max(s.remaining, 1)
+	return clampWeight(s.Scale / r)
+}
+
+// EDF weights a flow by the rate required to meet its deadline relative
+// to a base rate: weight = (remaining_bits/time_left) / BaseRate. Flows
+// whose deadlines loom get large weights; flows with slack get small ones.
+type EDF struct {
+	Deadline float64 // absolute simulation time
+	BaseRate float64 // bits/sec corresponding to weight 1
+	remBits  float64
+}
+
+// SetRemainingBits updates the bits left to send.
+func (e *EDF) SetRemainingBits(bits float64) { e.remBits = bits }
+
+// Weight implements Policy.
+func (e *EDF) Weight(currentRate, now float64) float64 {
+	if e.BaseRate <= 0 {
+		e.BaseRate = 1e6
+	}
+	left := e.Deadline - now
+	if left <= 0 {
+		return maxWeight // past deadline: all-out
+	}
+	need := e.remBits / left
+	return clampWeight(need / e.BaseRate)
+}
+
+const (
+	minWeight = 0.01
+	maxWeight = 100.0
+)
+
+func clampWeight(w float64) float64 {
+	if math.IsNaN(w) {
+		return 1
+	}
+	if w < minWeight {
+		return minWeight
+	}
+	if w > maxWeight {
+		return maxWeight
+	}
+	return w
+}
+
+// Scheduler applies policies to flows through the allocation plane.
+type Scheduler struct {
+	ctrl     *ratealloc.Controller
+	policies map[ratealloc.FlowID]Policy
+}
+
+// New creates a scheduler over a controller.
+func New(ctrl *ratealloc.Controller) *Scheduler {
+	return &Scheduler{ctrl: ctrl, policies: make(map[ratealloc.FlowID]Policy)}
+}
+
+// Attach associates a policy with a registered flow.
+func (s *Scheduler) Attach(id ratealloc.FlowID, p Policy) error {
+	if p == nil {
+		return fmt.Errorf("scheduler: nil policy for flow %d", id)
+	}
+	s.policies[id] = p
+	return nil
+}
+
+// Detach removes a flow's policy (on completion).
+func (s *Scheduler) Detach(id ratealloc.FlowID) { delete(s.policies, id) }
+
+// Attached returns the number of managed flows.
+func (s *Scheduler) Attached() int { return len(s.policies) }
+
+// Step performs one round of weight updates: read each flow's current
+// rate, ask the policy for the next weight, push it to the allocator.
+// Call it once per control interval, after Controller.Tick.
+func (s *Scheduler) Step(now float64) {
+	for id, p := range s.policies {
+		cur := s.ctrl.FlowRate(id)
+		s.ctrl.SetPriority(id, p.Weight(cur, now))
+	}
+}

@@ -1,0 +1,153 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ratealloc"
+	"repro/internal/topology"
+)
+
+type zeroReader struct{}
+
+func (zeroReader) QueueBits(topology.LinkID) float64   { return 0 }
+func (zeroReader) ArrivedBits(topology.LinkID) float64 { return 0 }
+
+func singleLink(t *testing.T) (*ratealloc.Controller, []topology.LinkID) {
+	t.Helper()
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Host, "a", 0)
+	b := g.AddNode(topology.Host, "b", 0)
+	l := g.AddDuplex(a, b, 100e6, 1e-3, 1)
+	c, err := ratealloc.NewController(g, zeroReader{}, ratealloc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, []topology.LinkID{l}
+}
+
+func TestTargetRateConverges(t *testing.T) {
+	ctrl, path := singleLink(t)
+	for i := 1; i <= 3; i++ {
+		if err := ctrl.Register(&ratealloc.Flow{ID: ratealloc.FlowID(i), Path: path}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(ctrl)
+	const target = 60e6
+	if err := s.Attach(1, &TargetRate{Rate: target}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ctrl.Tick(float64(i) * 0.05)
+		s.Step(float64(i) * 0.05)
+	}
+	got := ctrl.FlowRate(1)
+	if math.Abs(got-target)/target > 0.05 {
+		t.Fatalf("target-rate flow = %v, want ≈ %v", got, target)
+	}
+	// the other flows split the remainder
+	rest := ctrl.FlowRate(2) + ctrl.FlowRate(3)
+	want := 0.95*100e6 - target
+	if math.Abs(rest-want)/want > 0.1 {
+		t.Fatalf("others = %v, want ≈ %v", rest, want)
+	}
+}
+
+func TestSJFPrefersShortFlow(t *testing.T) {
+	ctrl, path := singleLink(t)
+	ctrl.Register(&ratealloc.Flow{ID: 1, Path: path})
+	ctrl.Register(&ratealloc.Flow{ID: 2, Path: path})
+	s := New(ctrl)
+	short := &SJF{Scale: 1 << 20}
+	long := &SJF{Scale: 1 << 20}
+	short.SetRemaining(100e3) // 100 KB left
+	long.SetRemaining(10e6)   // 10 MB left
+	s.Attach(1, short)
+	s.Attach(2, long)
+	for i := 0; i < 60; i++ {
+		ctrl.Tick(0)
+		s.Step(0)
+	}
+	r1, r2 := ctrl.FlowRate(1), ctrl.FlowRate(2)
+	// weights ∝ 1/remaining: ratio 100
+	if r1 <= r2 {
+		t.Fatalf("short flow rate %v not above long flow %v", r1, r2)
+	}
+	if ratio := r1 / r2; ratio < 10 {
+		t.Fatalf("SJF ratio = %v, want ≫ 1", ratio)
+	}
+}
+
+func TestSJFWeightClamped(t *testing.T) {
+	s := &SJF{Scale: 1 << 30}
+	s.SetRemaining(1)
+	if w := s.Weight(0, 0); w != maxWeight {
+		t.Fatalf("weight %v not clamped to max", w)
+	}
+	s.SetRemaining(math.Inf(1))
+	if w := s.Weight(0, 0); w != minWeight {
+		t.Fatalf("weight %v not clamped to min", w)
+	}
+}
+
+func TestEDFUrgencyOrdering(t *testing.T) {
+	ctrl, path := singleLink(t)
+	ctrl.Register(&ratealloc.Flow{ID: 1, Path: path})
+	ctrl.Register(&ratealloc.Flow{ID: 2, Path: path})
+	s := New(ctrl)
+	urgent := &EDF{Deadline: 1, BaseRate: 10e6}
+	slack := &EDF{Deadline: 100, BaseRate: 10e6}
+	urgent.SetRemainingBits(50e6)
+	slack.SetRemainingBits(50e6)
+	s.Attach(1, urgent)
+	s.Attach(2, slack)
+	for i := 0; i < 40; i++ {
+		ctrl.Tick(0.01)
+		s.Step(0.01)
+	}
+	if ctrl.FlowRate(1) <= ctrl.FlowRate(2) {
+		t.Fatalf("urgent flow %v not above slack flow %v",
+			ctrl.FlowRate(1), ctrl.FlowRate(2))
+	}
+}
+
+func TestEDFPastDeadlineMaxWeight(t *testing.T) {
+	e := &EDF{Deadline: 1, BaseRate: 1e6}
+	e.SetRemainingBits(1e6)
+	if w := e.Weight(0, 2); w != maxWeight {
+		t.Fatalf("past-deadline weight = %v", w)
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	ctrl, path := singleLink(t)
+	ctrl.Register(&ratealloc.Flow{ID: 1, Path: path})
+	s := New(ctrl)
+	if err := s.Attach(1, nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	s.Attach(1, &SJF{})
+	if s.Attached() != 1 {
+		t.Fatal("not attached")
+	}
+	s.Detach(1)
+	if s.Attached() != 0 {
+		t.Fatal("not detached")
+	}
+	s.Step(0) // no policies: must not panic
+}
+
+func TestClampWeightNaN(t *testing.T) {
+	if clampWeight(math.NaN()) != 1 {
+		t.Fatal("NaN weight not neutralised")
+	}
+}
+
+func TestTargetRateZeroCurrent(t *testing.T) {
+	tr := &TargetRate{Rate: 1e6}
+	w := tr.Weight(0, 0)
+	if w <= 0 || math.IsNaN(w) {
+		t.Fatalf("weight %v with zero current rate", w)
+	}
+}

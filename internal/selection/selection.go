@@ -1,0 +1,276 @@
+// Package selection implements SCDA's content-aware server selection
+// (section VII) plus the random selection used by the RandTCP baseline.
+//
+// Policies by content class:
+//
+//   - Interactive (HWHR): pick the server with the highest min(R̂d, R̂u) —
+//     interaction speed is limited by the slower direction (VII-A).
+//   - Semi-interactive (HWLR/LWHR): two stages — write to the server with
+//     the best down-link rate, then replicate to the server with the best
+//     up-link rate so retrieval is fast (VII-B).
+//   - Passive (LWLR): write to the best down-link server, then replicate
+//     to a dormant server whose up-link rate exceeds the scale-down
+//     threshold Rscale; active content avoids those servers so they stay
+//     dormant (VII-C).
+//   - Power-aware: any of the above with the rate metric replaced by
+//     rate/P(t), preferring efficient servers (VII-D).
+//
+// Selection operates over the RM/RA hierarchy's per-server metrics and an
+// optional power model; a Filter (capacity, exclusions) narrows candidates.
+package selection
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/content"
+	"repro/internal/power"
+	"repro/internal/ratealloc"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Filter restricts candidate servers; nil accepts all. Return false to
+// exclude (e.g. server out of disk, already holding a replica).
+type Filter func(topology.NodeID) bool
+
+// Picker selects servers using hierarchy metrics.
+type Picker struct {
+	H *ratealloc.Hierarchy
+	// Power enables the VII-D rate-to-power metric when non-nil and
+	// PowerAware is set.
+	Power      *power.Model
+	PowerAware bool
+	// Rscale is the scale-down threshold rate of section VII-C in
+	// bits/sec: servers advertising up-link rates above it are "dormant
+	// candidates" reserved for passive content.
+	Rscale float64
+}
+
+// ErrNoCandidate is wrapped by selection failures.
+var ErrNoCandidate = fmt.Errorf("selection: no candidate server")
+
+// metric converts an RM's advertised rates into the policy score. level
+// is the tree level of the RA scoping the selection: ranking uses the
+// fig. 2 path rates down to that level (Rˇ), not just the server's own
+// access link, so a rack whose uplink is the bottleneck stops advertising
+// fast servers.
+type metric func(rm *ratealloc.RM, level int) float64
+
+func (p *Picker) adjust(server topology.NodeID, rate, now float64) float64 {
+	if !p.PowerAware || p.Power == nil {
+		return rate
+	}
+	s := p.Power.Get(server)
+	if s == nil {
+		return rate
+	}
+	return s.RateToPower(rate, now)
+}
+
+// scan returns the best server in ra's subtree by metric, honouring the
+// filter. Deterministic tie-break on node ID keeps runs reproducible.
+func (p *Picker) scan(ra *ratealloc.RA, m metric, f Filter, now float64) (topology.NodeID, float64, error) {
+	best := topology.NodeID(topology.None)
+	bestScore := math.Inf(-1)
+	ra.EachServer(func(rm *ratealloc.RM) {
+		if f != nil && !f(rm.Host) {
+			return
+		}
+		score := p.adjust(rm.Host, m(rm, ra.Level), now)
+		if score > bestScore || (score == bestScore && (best == topology.None || rm.Host < best)) {
+			best, bestScore = rm.Host, score
+		}
+	})
+	if best == topology.None {
+		return best, 0, fmt.Errorf("%w in subtree of switch %d", ErrNoCandidate, ra.Switch)
+	}
+	return best, bestScore, nil
+}
+
+func levelAt(rm *ratealloc.RM, level int) int {
+	if level >= len(rm.UpToLevel) {
+		level = len(rm.UpToLevel) - 1
+	}
+	if level < 1 {
+		level = 1
+	}
+	return level
+}
+
+func upMetric(rm *ratealloc.RM, level int) float64 {
+	return rm.UpToLevel[levelAt(rm, level)]
+}
+func downMetric(rm *ratealloc.RM, level int) float64 {
+	return rm.DownFromLevel[levelAt(rm, level)]
+}
+func minMetric(rm *ratealloc.RM, level int) float64 {
+	l := levelAt(rm, level)
+	return math.Min(rm.UpToLevel[l], rm.DownFromLevel[l])
+}
+
+// activeFilter composes the caller's filter with the VII-C rule that
+// active (interactive/semi-interactive) content avoids dormant candidates:
+// "interactive and semi-interactive contents do not use servers whose
+// upload rates are greater than Rscale".
+func (p *Picker) activeFilter(ra *ratealloc.RA, f Filter) Filter {
+	if p.Rscale <= 0 {
+		return f
+	}
+	// only apply the avoidance when at least one compliant server exists,
+	// otherwise active content would be unplaceable on an idle cluster
+	any := false
+	ra.EachServer(func(rm *ratealloc.RM) {
+		if rm.UpHat < p.Rscale && (f == nil || f(rm.Host)) {
+			any = true
+		}
+	})
+	if !any {
+		return f
+	}
+	return func(n topology.NodeID) bool {
+		if f != nil && !f(n) {
+			return false
+		}
+		rm := p.H.RMFor(n)
+		return rm != nil && rm.UpHat < p.Rscale
+	}
+}
+
+// PickWrite chooses the primary server for a new content of the given
+// class within ra's subtree (use the root RA for datacenter-wide
+// placement, a rack's level-1 RA for rack-local placement).
+func (p *Picker) PickWrite(ra *ratealloc.RA, class content.Class, f Filter, now float64) (topology.NodeID, error) {
+	switch class {
+	case content.Interactive:
+		// fast path: the fig. 2 aggregate when unfiltered and power-blind
+		if f == nil && !p.PowerAware && p.Rscale <= 0 && ra.BestMin.Server != topology.None {
+			return ra.BestMin.Server, nil
+		}
+		n, _, err := p.scan(ra, minMetric, p.activeFilter(ra, f), now)
+		return n, err
+	case content.Passive:
+		// stage 1 (VII-C): fastest write — best down-link, no dormancy
+		// restriction (the data lands on an active server first)
+		n, _, err := p.scan(ra, downMetric, f, now)
+		return n, err
+	default: // semi-interactive and unknown: stage 1 of VII-B
+		n, _, err := p.scan(ra, downMetric, p.activeFilter(ra, f), now)
+		return n, err
+	}
+}
+
+// PickReplica chooses the replication target after the primary write
+// (stage 2 of VII-B/VII-C). primary is always excluded.
+func (p *Picker) PickReplica(ra *ratealloc.RA, class content.Class, primary topology.NodeID, f Filter, now float64) (topology.NodeID, error) {
+	notPrimary := func(n topology.NodeID) bool {
+		if n == primary {
+			return false
+		}
+		return f == nil || f(n)
+	}
+	switch class {
+	case content.Passive:
+		// dormant candidates: up-link rate above Rscale (least loaded)
+		dormant := func(n topology.NodeID) bool {
+			if !notPrimary(n) {
+				return false
+			}
+			rm := p.H.RMFor(n)
+			return rm != nil && (p.Rscale <= 0 || rm.UpHat > p.Rscale)
+		}
+		if n, _, err := p.scan(ra, upMetric, dormant, now); err == nil {
+			return n, nil
+		}
+		// no dormant candidate: fall back to best up-link
+		n, _, err := p.scan(ra, upMetric, notPrimary, now)
+		return n, err
+	case content.Interactive:
+		n, _, err := p.scan(ra, minMetric, p.activeFilter(ra, notPrimary), now)
+		return n, err
+	default:
+		// semi-interactive: "the server to which data is being written
+		// chooses another replication server with the best uplink rate"
+		n, _, err := p.scan(ra, upMetric, p.activeFilter(ra, notPrimary), now)
+		return n, err
+	}
+}
+
+// ScanUp exposes the up-link-metric subtree scan for callers composing
+// custom placement passes (e.g. the VII-C cold-content migration, which
+// needs "dormant candidate" filtering the caller defines).
+func (p *Picker) ScanUp(ra *ratealloc.RA, f Filter, now float64) (topology.NodeID, float64, error) {
+	return p.scan(ra, upMetric, f, now)
+}
+
+// PickRead chooses which replica to read from: the one advertising the
+// best up-link rate (section VIII-C step 3), optionally power-adjusted.
+func (p *Picker) PickRead(replicas []topology.NodeID, now float64) (topology.NodeID, error) {
+	best := topology.NodeID(topology.None)
+	bestScore := math.Inf(-1)
+	for _, r := range replicas {
+		rm := p.H.RMFor(r)
+		if rm == nil {
+			continue
+		}
+		// rank by the min up-link rate all the way to the top of the
+		// tree (Rˇ at hmax): external readers sit beyond the core
+		score := p.adjust(r, rm.UpToLevel[len(rm.UpToLevel)-1], now)
+		if score > bestScore || (score == bestScore && (best == topology.None || r < best)) {
+			best, bestScore = r, score
+		}
+	}
+	if best == topology.None {
+		return best, fmt.Errorf("%w among %d replicas", ErrNoCandidate, len(replicas))
+	}
+	return best, nil
+}
+
+// Random selects servers uniformly at random — the server-selection half
+// of the RandTCP baseline ("random switch (server) selection strategies",
+// standing in for VL2's VLB/ECMP placement).
+type Random struct {
+	Servers []topology.NodeID
+	RNG     *sim.RNG
+}
+
+// PickWrite ignores class and load.
+func (r *Random) PickWrite(f Filter) (topology.NodeID, error) {
+	return r.pick(f)
+}
+
+// PickReplica excludes only the primary.
+func (r *Random) PickReplica(primary topology.NodeID, f Filter) (topology.NodeID, error) {
+	return r.pick(func(n topology.NodeID) bool {
+		if n == primary {
+			return false
+		}
+		return f == nil || f(n)
+	})
+}
+
+// PickRead picks a uniform random replica.
+func (r *Random) PickRead(replicas []topology.NodeID) (topology.NodeID, error) {
+	if len(replicas) == 0 {
+		return topology.None, fmt.Errorf("%w: no replicas", ErrNoCandidate)
+	}
+	return replicas[r.RNG.Intn(len(replicas))], nil
+}
+
+func (r *Random) pick(f Filter) (topology.NodeID, error) {
+	// rejection-sample a bounded number of times, then linear scan
+	for i := 0; i < 8; i++ {
+		n := r.Servers[r.RNG.Intn(len(r.Servers))]
+		if f == nil || f(n) {
+			return n, nil
+		}
+	}
+	start := r.RNG.Intn(len(r.Servers))
+	for i := 0; i < len(r.Servers); i++ {
+		n := r.Servers[(start+i)%len(r.Servers)]
+		if f == nil || f(n) {
+			return n, nil
+		}
+	}
+	return topology.None, fmt.Errorf("%w after full scan", ErrNoCandidate)
+}

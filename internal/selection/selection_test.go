@@ -1,0 +1,320 @@
+package selection
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/power"
+	"repro/internal/ratealloc"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+type fakeReader struct{}
+
+func (fakeReader) QueueBits(topology.LinkID) float64   { return 0 }
+func (fakeReader) ArrivedBits(topology.LinkID) float64 { return 0 }
+
+type rig struct {
+	tt   *topology.ThreeTier
+	ctrl *ratealloc.Controller
+	h    *ratealloc.Hierarchy
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := ratealloc.NewController(tt.Graph, fakeReader{}, ratealloc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := map[topology.NodeID]bool{}
+	for _, s := range tt.Servers {
+		servers[s] = true
+	}
+	h, err := ratealloc.NewHierarchy(ctrl, tt.Graph, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Tick(0)
+	h.Update()
+	return &rig{tt: tt, ctrl: ctrl, h: h}
+}
+
+// load adds n unit flows on a directed link and refreshes metrics.
+func (r *rig) load(t *testing.T, link topology.LinkID, n int, idBase int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := r.ctrl.Register(&ratealloc.Flow{
+			ID:   ratealloc.FlowID(idBase + i),
+			Path: []topology.LinkID{link},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		r.ctrl.Tick(0)
+	}
+	r.h.Update()
+}
+
+func TestSemiInteractiveWriteAvoidsLoadedDownlink(t *testing.T) {
+	r := newRig(t)
+	p := &Picker{H: r.h}
+	// swamp server 0's downlink
+	down := r.tt.Graph.Links[r.tt.UplinkOf[r.tt.Servers[0]]].Reverse
+	r.load(t, down, 10, 1000)
+	got, err := p.PickWrite(r.h.Root(), content.SemiInteractive, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == r.tt.Servers[0] {
+		t.Fatal("write placed on the congested server")
+	}
+}
+
+func TestInteractiveUsesMinMetric(t *testing.T) {
+	r := newRig(t)
+	p := &Picker{H: r.h}
+	// all servers CPU-limited except one
+	for _, s := range r.tt.Servers {
+		r.ctrl.SetHostOther(s, 1e6)
+	}
+	fast := r.tt.Servers[9]
+	r.ctrl.SetHostOther(fast, 1e9)
+	r.ctrl.Tick(0)
+	r.h.Update()
+	got, err := p.PickWrite(r.h.Root(), content.Interactive, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fast {
+		t.Fatalf("interactive pick = %d, want %d", got, fast)
+	}
+}
+
+func TestReplicaExcludesPrimary(t *testing.T) {
+	r := newRig(t)
+	p := &Picker{H: r.h}
+	primary := r.tt.Servers[0]
+	got, err := p.PickReplica(r.h.Root(), content.SemiInteractive, primary, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == primary {
+		t.Fatal("replica placed on the primary")
+	}
+}
+
+func TestPassiveReplicaPrefersDormantCandidates(t *testing.T) {
+	r := newRig(t)
+	idle := 0.95 * r.tt.Spec.X
+	p := &Picker{H: r.h, Rscale: idle * 0.5}
+	// load every server's uplink except server 3, whose up rate stays
+	// above Rscale (a dormant candidate)
+	id := 1
+	for i, s := range r.tt.Servers {
+		if i == 3 {
+			continue
+		}
+		r.load(t, r.tt.UplinkOf[s], 3, id*100)
+		id++
+	}
+	got, err := p.PickReplica(r.h.Root(), content.Passive, r.tt.Servers[0], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r.tt.Servers[3] {
+		t.Fatalf("passive replica = %d, want dormant candidate %d", got, r.tt.Servers[3])
+	}
+}
+
+func TestActiveContentAvoidsDormantCandidates(t *testing.T) {
+	r := newRig(t)
+	idle := 0.95 * r.tt.Spec.X
+	p := &Picker{H: r.h, Rscale: idle * 0.5}
+	// two dormant candidates (idle); the rest moderately loaded so their
+	// up rates fall below Rscale
+	for i, s := range r.tt.Servers {
+		if i == 3 || i == 7 {
+			continue
+		}
+		r.load(t, r.tt.UplinkOf[s], 3, 100*(i+1))
+	}
+	got, err := p.PickReplica(r.h.Root(), content.SemiInteractive, r.tt.Servers[0], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == r.tt.Servers[3] || got == r.tt.Servers[7] {
+		t.Fatalf("active replica %d landed on a dormant candidate", got)
+	}
+}
+
+func TestActiveFallsBackWhenAllDormant(t *testing.T) {
+	// idle cluster with Rscale below every rate: no compliant server —
+	// active content must still be placeable
+	r := newRig(t)
+	p := &Picker{H: r.h, Rscale: 1} // everything is a "dormant candidate"
+	if _, err := p.PickWrite(r.h.Root(), content.SemiInteractive, nil, 0); err != nil {
+		t.Fatalf("active content unplaceable on idle cluster: %v", err)
+	}
+}
+
+func TestPowerAwareSelection(t *testing.T) {
+	r := newRig(t)
+	pm := power.NewModel()
+	for i, s := range r.tt.Servers {
+		prof := power.DefaultProfile()
+		// server 5 is far more efficient
+		if i == 5 {
+			prof.IdleWatts, prof.PeakWatts = 40, 80
+		}
+		if _, err := pm.Add(s, prof); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &Picker{H: r.h, Power: pm, PowerAware: true}
+	got, err := p.PickWrite(r.h.Root(), content.SemiInteractive, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r.tt.Servers[5] {
+		t.Fatalf("power-aware pick = %d, want efficient server %d", got, r.tt.Servers[5])
+	}
+}
+
+func TestFilterRespected(t *testing.T) {
+	r := newRig(t)
+	p := &Picker{H: r.h}
+	allowed := r.tt.Servers[13]
+	only := func(n topology.NodeID) bool { return n == allowed }
+	got, err := p.PickWrite(r.h.Root(), content.SemiInteractive, only, 0)
+	if err != nil || got != allowed {
+		t.Fatalf("filtered pick = %d, %v", got, err)
+	}
+	none := func(topology.NodeID) bool { return false }
+	if _, err := p.PickWrite(r.h.Root(), content.SemiInteractive, none, 0); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("want ErrNoCandidate, got %v", err)
+	}
+}
+
+func TestPickReadBestUplink(t *testing.T) {
+	r := newRig(t)
+	p := &Picker{H: r.h}
+	a, b := r.tt.Servers[0], r.tt.Servers[1]
+	r.load(t, r.tt.UplinkOf[a], 8, 500)
+	got, err := p.PickRead([]topology.NodeID{a, b}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("read replica = %d, want unloaded %d", got, b)
+	}
+	if _, err := p.PickRead(nil, 0); !errors.Is(err, ErrNoCandidate) {
+		t.Fatal("empty replicas accepted")
+	}
+}
+
+func TestRackScopedSelection(t *testing.T) {
+	r := newRig(t)
+	p := &Picker{H: r.h}
+	rackRA := r.h.AncestorAt(r.tt.Servers[0], 1)
+	got, err := p.PickWrite(rackRA, content.SemiInteractive, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.tt.RackOf[got] != r.tt.RackOf[r.tt.Servers[0]] {
+		t.Fatal("rack-scoped pick escaped the rack")
+	}
+}
+
+func TestRandomSelection(t *testing.T) {
+	r := newRig(t)
+	rnd := &Random{Servers: r.tt.Servers, RNG: sim.NewRNG(11)}
+	seen := map[topology.NodeID]bool{}
+	for i := 0; i < 200; i++ {
+		n, err := rnd.PickWrite(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[n] = true
+	}
+	if len(seen) < len(r.tt.Servers)/2 {
+		t.Fatalf("random selection concentrated on %d servers", len(seen))
+	}
+	primary := r.tt.Servers[0]
+	for i := 0; i < 50; i++ {
+		n, err := rnd.PickReplica(primary, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == primary {
+			t.Fatal("random replica on primary")
+		}
+	}
+	if _, err := rnd.PickRead(nil); !errors.Is(err, ErrNoCandidate) {
+		t.Fatal("empty replica read accepted")
+	}
+	got, _ := rnd.PickRead([]topology.NodeID{42})
+	if got != 42 {
+		t.Fatal("single replica read wrong")
+	}
+}
+
+func TestRandomFilterExhaustion(t *testing.T) {
+	rnd := &Random{Servers: []topology.NodeID{1, 2, 3}, RNG: sim.NewRNG(5)}
+	if _, err := rnd.PickWrite(func(topology.NodeID) bool { return false }); !errors.Is(err, ErrNoCandidate) {
+		t.Fatal("unsatisfiable filter accepted")
+	}
+	// filter admitting exactly one server must find it
+	got, err := rnd.PickWrite(func(n topology.NodeID) bool { return n == 3 })
+	if err != nil || got != 3 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestInteractiveFastPathUsesAggregate(t *testing.T) {
+	// unfiltered, power-blind, no Rscale: PickWrite must return the
+	// fig. 2 BestMin aggregate directly
+	r := newRig(t)
+	p := &Picker{H: r.h}
+	got, err := p.PickWrite(r.h.Root(), content.Interactive, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r.h.Root().BestMin.Server {
+		t.Fatalf("fast path returned %d, aggregate says %d", got, r.h.Root().BestMin.Server)
+	}
+}
+
+func TestPowerAwareWithoutModelFallsBack(t *testing.T) {
+	r := newRig(t)
+	p := &Picker{H: r.h, PowerAware: true} // Power nil: metric unchanged
+	if _, err := p.PickWrite(r.h.Root(), content.SemiInteractive, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassiveWriteIgnoresDormancyRestriction(t *testing.T) {
+	// passive stage-1 writes land on the best-downlink server even when
+	// it is a dormant candidate (data lands on an active server first,
+	// consolidation happens at replication)
+	r := newRig(t)
+	p := &Picker{H: r.h, Rscale: 1} // every server "dormant"
+	if _, err := p.PickWrite(r.h.Root(), content.Passive, nil, 0); err != nil {
+		t.Fatalf("passive write blocked by Rscale: %v", err)
+	}
+}
+
+func TestScanUpExported(t *testing.T) {
+	r := newRig(t)
+	p := &Picker{H: r.h}
+	n, rate, err := p.ScanUp(r.h.Root(), nil, 0)
+	if err != nil || rate <= 0 {
+		t.Fatalf("ScanUp: %v %v %v", n, rate, err)
+	}
+}

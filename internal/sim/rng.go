@@ -1,0 +1,117 @@
+package sim
+
+import "math"
+
+// RNG is a deterministic SplitMix64-based pseudo-random generator.
+//
+// We deliberately avoid math/rand's global state: every component that needs
+// randomness (workload generators, random server selection, ECMP hashing
+// jitter) receives its own RNG derived from the experiment seed, so results
+// are reproducible regardless of package initialisation order or map
+// iteration, and two components never perturb each other's streams.
+type RNG struct {
+	state uint64
+	// cached second normal variate for Box-Muller
+	haveGauss bool
+	gauss     float64
+}
+
+// NewRNG returns a generator seeded with seed. Seed zero is valid.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent child generator. The constant is the golden
+// ratio increment used by SplitMix64; mixing in a label keeps streams for
+// different subsystems disjoint even with equal seeds.
+func (r *RNG) Split(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0x9E3779B97F4A7C15))
+}
+
+// Uint64 returns the next 64 uniformly random bits (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0,n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Exp returns an exponential variate with the given rate (events per
+// second). Used for Poisson arrival processes.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("sim: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Pareto returns a Pareto variate with minimum xm and shape alpha.
+// Mean is xm*alpha/(alpha-1) for alpha > 1; the paper's workload uses
+// mean 500KB with shape 1.6, i.e. xm = mean*(alpha-1)/alpha.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("sim: Pareto requires positive xm and alpha")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Gauss returns a standard normal variate (Box-Muller).
+func (r *RNG) Gauss() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.haveGauss = true
+	return u * f
+}
+
+// LogNormal returns exp(mu + sigma*Z).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Gauss())
+}

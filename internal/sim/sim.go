@@ -1,0 +1,197 @@
+// Package sim provides the discrete-event simulation core used by every
+// SCDA substrate: a time-ordered event loop, timers, and a deterministic
+// pseudo-random number generator so that every experiment is reproducible
+// from a seed.
+//
+// The engine is single-threaded by design. Datacenter simulations of the
+// scale used in the SCDA paper (thousands of flows, millions of packet
+// events) are dominated by heap operations and cache behaviour, not by
+// parallelism; a single goroutine with a binary heap is both faster and
+// easier to make deterministic than a parallel event queue. Parallelism in
+// this repository lives one level up: independent experiment runs (one per
+// figure, one per seed) execute concurrently.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulation time in seconds. float64 seconds keeps the arithmetic
+// in the paper's units (rates in bits/sec, intervals in sec) direct.
+type Time = float64
+
+// Event is a scheduled callback. Events with equal time fire in the order
+// they were scheduled (FIFO tie-break via sequence numbers), which keeps
+// runs deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+
+// At returns the scheduled firing time.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending-event heap.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	running bool
+	stopped bool
+
+	// Processed counts events executed since construction; useful for
+	// progress reporting and for benchmark metrics (events/sec).
+	Processed uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Len returns the number of queued (possibly cancelled) events.
+func (s *Simulator) Len() int { return len(s.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a logic bug in the caller, and silently clamping would
+// corrupt causality.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts the run loop after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue empties or Stop is called.
+func (s *Simulator) Run() {
+	s.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with time <= end, then sets the clock to end if
+// the queue drained early (so that successive RunUntil calls advance the
+// clock monotonically even through idle periods).
+func (s *Simulator) RunUntil(end Time) {
+	if s.running {
+		panic("sim: RunUntil re-entered")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.heap) > 0 && !s.stopped {
+		e := s.heap[0]
+		if e.at > end {
+			break
+		}
+		heap.Pop(&s.heap)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.Processed++
+		e.fn()
+	}
+	if !s.stopped && !math.IsInf(end, 1) && s.now < end {
+		s.now = end
+	}
+}
+
+// Ticker invokes fn every period seconds, starting at now+period, until
+// Cancel is called. It is the building block for the RM/RA control loops
+// (one tick per control interval τ).
+type Ticker struct {
+	sim    *Simulator
+	period Time
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+// NewTicker starts a repeating callback. period must be positive.
+func (s *Simulator) NewTicker(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.sim.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done {
+			t.schedule()
+		}
+	})
+}
+
+// Cancel stops the ticker.
+func (t *Ticker) Cancel() {
+	t.done = true
+	t.ev.Cancel()
+}

@@ -1,0 +1,304 @@
+// Package stats provides the statistical reductions used by the SCDA
+// experiment harness: online moments, empirical CDFs, quantiles, time-binned
+// throughput series, and the AFCT-by-file-size binning the paper's figures
+// use (figs. 8-16, 18 are CDFs and AFCT-vs-size curves; figs. 7, 10, 17 are
+// time series of average instantaneous throughput).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates mean and variance in one pass (Welford's algorithm).
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the observation count.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean (0 for no observations).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the sample variance.
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation (0 if none).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 if none).
+func (o *Online) Max() float64 { return o.max }
+
+// CDF is an empirical cumulative distribution over collected samples.
+type CDF struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(x float64) {
+	c.xs = append(c.xs, x)
+	c.sorted = false
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.xs) }
+
+func (c *CDF) sortIfNeeded() {
+	if !c.sorted {
+		sort.Float64s(c.xs)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.sortIfNeeded()
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the q-th quantile, q in [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	c.sortIfNeeded()
+	if q == 1 {
+		return c.xs[len(c.xs)-1]
+	}
+	i := int(q * float64(len(c.xs)))
+	if i >= len(c.xs) {
+		i = len(c.xs) - 1
+	}
+	return c.xs[i]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range c.xs {
+		s += x
+	}
+	return s / float64(len(c.xs))
+}
+
+// Points returns up to n evenly spaced (x, P(X<=x)) points for plotting the
+// CDF curve, in ascending x. With n <= 0 every distinct sample is returned.
+func (c *CDF) Points(n int) []Point {
+	c.sortIfNeeded()
+	m := len(c.xs)
+	if m == 0 {
+		return nil
+	}
+	if n <= 0 || n > m {
+		n = m
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * m / n
+		if idx > m {
+			idx = m
+		}
+		pts = append(pts, Point{X: c.xs[idx-1], Y: float64(idx) / float64(m)})
+	}
+	return pts
+}
+
+// Point is a generic (x, y) series sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points, the unit of figure output.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// TimeBins accumulates per-bin sums over simulation time: used for the
+// "average instantaneous throughput" time series (total bits delivered in a
+// bin divided by bin width and by the number of active flows).
+type TimeBins struct {
+	width  float64
+	sums   []float64
+	counts []int
+}
+
+// NewTimeBins creates bins of the given width in seconds.
+func NewTimeBins(width float64) *TimeBins {
+	if width <= 0 {
+		panic("stats: TimeBins width must be positive")
+	}
+	return &TimeBins{width: width}
+}
+
+// Width returns the bin width in seconds.
+func (tb *TimeBins) Width() float64 { return tb.width }
+
+func (tb *TimeBins) grow(i int) {
+	for len(tb.sums) <= i {
+		tb.sums = append(tb.sums, 0)
+		tb.counts = append(tb.counts, 0)
+	}
+}
+
+// Add accumulates value v at time t.
+func (tb *TimeBins) Add(t, v float64) {
+	if t < 0 {
+		return
+	}
+	i := int(t / tb.width)
+	tb.grow(i)
+	tb.sums[i] += v
+	tb.counts[i]++
+}
+
+// Sums returns one point per bin: (bin end time, bin sum).
+func (tb *TimeBins) Sums() []Point {
+	pts := make([]Point, len(tb.sums))
+	for i := range tb.sums {
+		pts[i] = Point{X: float64(i+1) * tb.width, Y: tb.sums[i]}
+	}
+	return pts
+}
+
+// Means returns one point per bin: (bin end time, bin mean). Empty bins
+// yield 0.
+func (tb *TimeBins) Means() []Point {
+	pts := make([]Point, len(tb.sums))
+	for i := range tb.sums {
+		y := 0.0
+		if tb.counts[i] > 0 {
+			y = tb.sums[i] / float64(tb.counts[i])
+		}
+		pts[i] = Point{X: float64(i+1) * tb.width, Y: y}
+	}
+	return pts
+}
+
+// Rates returns one point per bin: (bin end time, bin sum / bin width).
+// Feeding bits delivered yields bits/sec.
+func (tb *TimeBins) Rates() []Point {
+	pts := make([]Point, len(tb.sums))
+	for i := range tb.sums {
+		pts[i] = Point{X: float64(i+1) * tb.width, Y: tb.sums[i] / tb.width}
+	}
+	return pts
+}
+
+// SizeBins computes mean-Y-per-X-bin curves, the paper's AFCT-vs-file-size
+// reduction: "AFCT of flows of some size is obtained by taking the average
+// completion times of all flows with that size".
+type SizeBins struct {
+	width float64
+	agg   map[int]*Online
+}
+
+// NewSizeBins creates size bins of the given width (e.g. 1MB buckets for
+// fig. 9, 500KB buckets for fig. 13).
+func NewSizeBins(width float64) *SizeBins {
+	if width <= 0 {
+		panic("stats: SizeBins width must be positive")
+	}
+	return &SizeBins{width: width, agg: make(map[int]*Online)}
+}
+
+// Add records observation y (e.g. FCT) for key x (e.g. file size).
+func (sb *SizeBins) Add(x, y float64) {
+	i := int(x / sb.width)
+	o := sb.agg[i]
+	if o == nil {
+		o = &Online{}
+		sb.agg[i] = o
+	}
+	o.Add(y)
+}
+
+// Curve returns (bin centre, mean y) points in ascending x.
+func (sb *SizeBins) Curve() []Point {
+	keys := make([]int, 0, len(sb.agg))
+	for k := range sb.agg {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	pts := make([]Point, 0, len(keys))
+	for _, k := range keys {
+		pts = append(pts, Point{
+			X: (float64(k) + 0.5) * sb.width,
+			Y: sb.agg[k].Mean(),
+		})
+	}
+	return pts
+}
+
+// MeanOf returns the mean of a slice (NaN when empty).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// JainFairness returns Jain's fairness index of the values:
+// (Σx)² / (n·Σx²). 1.0 means perfectly equal; 1/n means one value
+// dominates. Used to validate the max-min property of the SCDA allocator.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s, s2 float64
+	for _, x := range xs {
+		s += x
+		s2 += x * x
+	}
+	if s2 == 0 {
+		return math.NaN()
+	}
+	return s * s / (float64(len(xs)) * s2)
+}

@@ -1,0 +1,316 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestOnlineMoments(t *testing.T) {
+	var o Online
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("N = %d", o.N())
+	}
+	if !almost(o.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", o.Mean())
+	}
+	// sample variance of the classic dataset: population var 4, n/(n-1)*4
+	if !almost(o.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var = %v", o.Var())
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineSingle(t *testing.T) {
+	var o Online
+	o.Add(3)
+	if o.Var() != 0 || o.Mean() != 3 || o.Min() != 3 || o.Max() != 3 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		mean := MeanOf(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(mean))
+		return almost(o.Mean(), mean, 1e-8*scale) && almost(o.Var(), v, 1e-6*math.Max(1, v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{1, 2, 3, 4} {
+		c.Add(x)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almost(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if q := c.Quantile(0.5); q < 50 || q > 52 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := c.Quantile(1); q != 100 {
+		t.Fatalf("max quantile = %v", q)
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Fatalf("min quantile = %v", q)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(5) != 0 {
+		t.Fatal("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Fatal("empty CDF quantile not NaN")
+	}
+	if c.Points(10) != nil {
+		t.Fatal("empty CDF points not nil")
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var c CDF
+		n := 0
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				c.Add(x)
+				n++
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		pts := c.Points(16)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+				return false
+			}
+		}
+		return len(pts) > 0 && almost(pts[len(pts)-1].Y, 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAtIsProbability(t *testing.T) {
+	var c CDF
+	for i := 0; i < 57; i++ {
+		c.Add(float64(i * i % 13))
+	}
+	f := func(x float64) bool {
+		p := c.At(x)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeBinsRates(t *testing.T) {
+	tb := NewTimeBins(1.0)
+	tb.Add(0.2, 100) // bin 0
+	tb.Add(0.7, 100) // bin 0
+	tb.Add(1.5, 300) // bin 1
+	pts := tb.Rates()
+	if len(pts) != 2 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].Y != 200 || pts[1].Y != 300 {
+		t.Fatalf("rates = %v", pts)
+	}
+	if pts[0].X != 1 || pts[1].X != 2 {
+		t.Fatalf("xs = %v", pts)
+	}
+}
+
+func TestTimeBinsMeansAndSums(t *testing.T) {
+	tb := NewTimeBins(2.0)
+	tb.Add(0, 10)
+	tb.Add(1.9, 20)
+	tb.Add(2.0, 6)
+	if got := tb.Sums(); got[0].Y != 30 || got[1].Y != 6 {
+		t.Fatalf("sums = %v", got)
+	}
+	if got := tb.Means(); got[0].Y != 15 || got[1].Y != 6 {
+		t.Fatalf("means = %v", got)
+	}
+}
+
+func TestTimeBinsNegativeIgnored(t *testing.T) {
+	tb := NewTimeBins(1)
+	tb.Add(-0.5, 99)
+	if len(tb.Sums()) != 0 {
+		t.Fatal("negative time not ignored")
+	}
+}
+
+func TestSizeBinsCurve(t *testing.T) {
+	sb := NewSizeBins(10)
+	sb.Add(5, 1.0)  // bin 0
+	sb.Add(7, 3.0)  // bin 0
+	sb.Add(25, 8.0) // bin 2
+	pts := sb.Curve()
+	if len(pts) != 2 {
+		t.Fatalf("curve = %v", pts)
+	}
+	if pts[0].X != 5 || pts[0].Y != 2 {
+		t.Fatalf("bin0 = %v", pts[0])
+	}
+	if pts[1].X != 25 || pts[1].Y != 8 {
+		t.Fatalf("bin2 = %v", pts[1])
+	}
+}
+
+func TestSizeBinsSortedX(t *testing.T) {
+	sb := NewSizeBins(1)
+	for _, x := range []float64{9, 1, 5, 3, 7, 2} {
+		sb.Add(x, x)
+	}
+	pts := sb.Curve()
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+		t.Fatalf("curve not sorted: %v", pts)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if f := JainFairness([]float64{1, 1, 1, 1}); !almost(f, 1, 1e-12) {
+		t.Fatalf("equal shares fairness = %v", f)
+	}
+	if f := JainFairness([]float64{1, 0, 0, 0}); !almost(f, 0.25, 1e-12) {
+		t.Fatalf("single-winner fairness = %v", f)
+	}
+	if !math.IsNaN(JainFairness(nil)) {
+		t.Fatal("empty fairness not NaN")
+	}
+}
+
+func TestJainFairnessRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0)
+		for _, x := range raw {
+			if x > 0 && x < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainFairness(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if !almost(MeanOf([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("MeanOf wrong")
+	}
+	if !math.IsNaN(MeanOf(nil)) {
+		t.Fatal("MeanOf(nil) not NaN")
+	}
+}
+
+func TestCDFPointsSubsampling(t *testing.T) {
+	var c CDF
+	for i := 0; i < 1000; i++ {
+		c.Add(float64(i))
+	}
+	pts := c.Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[9].Y != 1 {
+		t.Fatalf("last point y = %v", pts[9].Y)
+	}
+	// negative n returns every sample
+	if got := c.Points(-1); len(got) != 1000 {
+		t.Fatalf("unsampled points = %d", len(got))
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	var c CDF
+	c.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quantile(2) did not panic")
+		}
+	}()
+	c.Quantile(2)
+}
+
+func TestNewTimeBinsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width accepted")
+		}
+	}()
+	NewTimeBins(0)
+}
+
+func TestNewSizeBinsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width accepted")
+		}
+	}()
+	NewSizeBins(0)
+}
+
+func TestOnlineStd(t *testing.T) {
+	var o Online
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if !almost(o.Std(), want, 1e-12) {
+		t.Fatalf("std = %v", o.Std())
+	}
+}

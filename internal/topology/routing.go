@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Routing holds destination-based next-hop tables with equal-cost
+// multipath sets, computed by per-destination breadth-first search. ECMP
+// next-hop choice is by flow hash, matching the per-flow ECMP the paper's
+// baselines (VL2, Hedera) rely on.
+type Routing struct {
+	g *Graph
+	// next[dst][node] lists links leaving node on shortest paths to dst.
+	next [][][]LinkID
+	// dist[dst][node] is the hop distance to dst.
+	dist [][]int
+}
+
+// ComputeRouting builds shortest-path (hop-count) ECMP tables for all
+// destinations. Memory is O(N²) in node count, fine for the simulated
+// fabrics (hundreds to a few thousand nodes).
+func ComputeRouting(g *Graph) *Routing {
+	n := len(g.Nodes)
+	r := &Routing{
+		g:    g,
+		next: make([][][]LinkID, n),
+		dist: make([][]int, n),
+	}
+	for dst := 0; dst < n; dst++ {
+		r.next[dst] = make([][]LinkID, n)
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = math.MaxInt32
+		}
+		dist[dst] = 0
+		queue := []NodeID{NodeID(dst)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			// explore reverse: neighbours that can reach v in one hop
+			for _, l := range g.out[v] {
+				u := g.Links[l].To // v→u exists, so u→v via reverse
+				rev := g.Links[l].Reverse
+				if dist[u] > dist[v]+1 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+					r.next[dst][u] = []LinkID{rev}
+				} else if dist[u] == dist[v]+1 {
+					r.next[dst][u] = append(r.next[dst][u], rev)
+				}
+			}
+		}
+		r.dist[dst] = dist
+	}
+	return r
+}
+
+// NextLink returns the link to take from node at toward dst for a flow with
+// the given hash. The hash pins a flow to one path (per-flow ECMP).
+func (r *Routing) NextLink(at, dst NodeID, flowHash uint64) (LinkID, error) {
+	if at == dst {
+		return None, fmt.Errorf("topology: NextLink at destination %d", dst)
+	}
+	hops := r.next[dst][at]
+	if len(hops) == 0 {
+		return None, fmt.Errorf("topology: no route %d → %d", at, dst)
+	}
+	return hops[flowHash%uint64(len(hops))], nil
+}
+
+// Path returns the full link path from src to dst for a flow hash.
+func (r *Routing) Path(src, dst NodeID, flowHash uint64) ([]LinkID, error) {
+	if src == dst {
+		return nil, nil
+	}
+	var path []LinkID
+	at := src
+	for at != dst {
+		l, err := r.NextLink(at, dst, flowHash)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, l)
+		at = r.g.Links[l].To
+		if len(path) > len(r.g.Nodes) {
+			return nil, fmt.Errorf("topology: routing loop %d → %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// Distance returns the hop count from src to dst, or -1 if unreachable.
+func (r *Routing) Distance(src, dst NodeID) int {
+	d := r.dist[dst][src]
+	if d == math.MaxInt32 {
+		return -1
+	}
+	return d
+}
+
+// ECMPWidth returns the number of equal-cost next hops from at toward dst,
+// a diagnostic for multipath fabrics.
+func (r *Routing) ECMPWidth(at, dst NodeID) int {
+	return len(r.next[dst][at])
+}
+
+// RTT estimates the round-trip propagation delay between two nodes for a
+// flow hash (forward path delay + reverse path delay). Transmission and
+// queueing delays are not included; the transports measure those live.
+func (r *Routing) RTT(a, b NodeID, flowHash uint64) (float64, error) {
+	fwd, err := r.Path(a, b, flowHash)
+	if err != nil {
+		return 0, err
+	}
+	rev, err := r.Path(b, a, flowHash)
+	if err != nil {
+		return 0, err
+	}
+	return r.g.PathDelay(fwd) + r.g.PathDelay(rev), nil
+}

@@ -1,0 +1,236 @@
+// Package topology models datacenter network topologies for SCDA: the
+// paper's three-tier tree (fig. 1 / fig. 6), plus the fat-tree and VL2 Clos
+// fabrics referenced in section IX (general network topologies).
+//
+// A Graph holds nodes (hosts and switches) and unidirectional links. Links
+// are directed because SCDA allocates up-link and down-link rates
+// independently (the R_{d,u} notation of eq. 1); a physical cable is two
+// Link values, one per direction, paired via Reverse.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID indexes Graph.Nodes.
+type NodeID int
+
+// LinkID indexes Graph.Links.
+type LinkID int
+
+// None marks an absent node or link.
+const None = -1
+
+// NodeKind distinguishes endpoints from forwarding elements.
+type NodeKind int
+
+const (
+	// Host is a traffic endpoint: a block server, a name node, the FES,
+	// or an external user client (UCL).
+	Host NodeKind = iota
+	// Switch forwards packets and hosts a resource allocator (RA).
+	Switch
+)
+
+func (k NodeKind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "switch"
+}
+
+// Node is a vertex in the datacenter graph.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	Name string
+	// Level is the tree level per the paper's numbering: block servers /
+	// hosts are level 0, top-of-rack switches level 1, aggregation level 2,
+	// core level hmax. For non-tree fabrics Level is the stage index.
+	Level int
+}
+
+// Link is one direction of a cable.
+type Link struct {
+	ID       LinkID
+	From, To NodeID
+	// Capacity in bits per second (the C_{d,u} of Table I).
+	Capacity float64
+	// Delay is one-way propagation delay in seconds.
+	Delay float64
+	// Reverse is the opposite-direction link of the same cable.
+	Reverse LinkID
+	// Level is the tree level of the cable: a level-h link connects a
+	// level-(h-1) node to a level-h node. Down-links and up-links of the
+	// same cable share a level.
+	Level int
+}
+
+// Graph is a datacenter network.
+type Graph struct {
+	Nodes []Node
+	Links []Link
+	// out[n] lists links leaving node n.
+	out [][]LinkID
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{}
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(kind NodeKind, name string, level int) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: kind, Name: name, Level: level})
+	g.out = append(g.out, nil)
+	return id
+}
+
+// AddDuplex adds both directions of a cable between a and b with the given
+// capacity (bits/sec), one-way delay (sec) and tree level. It returns the
+// a→b link ID; the b→a link is its Reverse.
+func (g *Graph) AddDuplex(a, b NodeID, capacity, delay float64, level int) LinkID {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("topology: non-positive capacity %v on %v-%v", capacity, a, b))
+	}
+	if delay < 0 {
+		panic("topology: negative delay")
+	}
+	ab := LinkID(len(g.Links))
+	ba := ab + 1
+	g.Links = append(g.Links,
+		Link{ID: ab, From: a, To: b, Capacity: capacity, Delay: delay, Reverse: ba, Level: level},
+		Link{ID: ba, From: b, To: a, Capacity: capacity, Delay: delay, Reverse: ab, Level: level},
+	)
+	g.out[a] = append(g.out[a], ab)
+	g.out[b] = append(g.out[b], ba)
+	return ab
+}
+
+// Out returns the links leaving node n.
+func (g *Graph) Out(n NodeID) []LinkID { return g.out[n] }
+
+// Hosts returns the IDs of all host nodes.
+func (g *Graph) Hosts() []NodeID {
+	var hs []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == Host {
+			hs = append(hs, n.ID)
+		}
+	}
+	return hs
+}
+
+// Switches returns the IDs of all switch nodes.
+func (g *Graph) Switches() []NodeID {
+	var ss []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == Switch {
+			ss = append(ss, n.ID)
+		}
+	}
+	return ss
+}
+
+// Neighbor returns the node at the far end of link l from node n.
+func (g *Graph) Neighbor(n NodeID, l LinkID) NodeID {
+	lk := g.Links[l]
+	if lk.From == n {
+		return lk.To
+	}
+	if lk.To == n {
+		return lk.From
+	}
+	panic("topology: link not incident to node")
+}
+
+// Validate checks structural invariants: reverse pairing, ID consistency,
+// and full connectivity. It returns a descriptive error on the first
+// violation.
+func (g *Graph) Validate() error {
+	for i, l := range g.Links {
+		if l.ID != LinkID(i) {
+			return fmt.Errorf("link %d has ID %d", i, l.ID)
+		}
+		if l.Reverse < 0 || int(l.Reverse) >= len(g.Links) {
+			return fmt.Errorf("link %d reverse %d out of range", i, l.Reverse)
+		}
+		r := g.Links[l.Reverse]
+		if r.From != l.To || r.To != l.From || r.Reverse != l.ID {
+			return fmt.Errorf("link %d and reverse %d not paired", i, l.Reverse)
+		}
+		if int(l.From) >= len(g.Nodes) || int(l.To) >= len(g.Nodes) {
+			return fmt.Errorf("link %d endpoints out of range", i)
+		}
+	}
+	if len(g.Nodes) == 0 {
+		return nil
+	}
+	// connectivity via BFS from node 0
+	seen := make([]bool, len(g.Nodes))
+	queue := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, l := range g.out[n] {
+			m := g.Links[l].To
+			if !seen[m] {
+				seen[m] = true
+				count++
+				queue = append(queue, m)
+			}
+		}
+	}
+	if count != len(g.Nodes) {
+		return fmt.Errorf("graph not connected: reached %d of %d nodes", count, len(g.Nodes))
+	}
+	return nil
+}
+
+// MaxLevel returns the highest link level in the graph (the paper's hmax).
+func (g *Graph) MaxLevel() int {
+	h := 0
+	for _, l := range g.Links {
+		if l.Level > h {
+			h = l.Level
+		}
+	}
+	return h
+}
+
+// BisectionCapacity returns the total capacity of links at the given level
+// in one direction, a rough fabric-capacity diagnostic.
+func (g *Graph) BisectionCapacity(level int) float64 {
+	total := 0.0
+	for _, l := range g.Links {
+		if l.Level == level {
+			total += l.Capacity
+		}
+	}
+	return total / 2 // each cable counted once
+}
+
+// PathDelay sums one-way propagation delay along a path of link IDs.
+func (g *Graph) PathDelay(path []LinkID) float64 {
+	d := 0.0
+	for _, l := range path {
+		d += g.Links[l].Delay
+	}
+	return d
+}
+
+// PathMinCapacity returns the bottleneck capacity along a path, or +Inf for
+// an empty path.
+func (g *Graph) PathMinCapacity(path []LinkID) float64 {
+	m := math.Inf(1)
+	for _, l := range path {
+		if g.Links[l].Capacity < m {
+			m = g.Links[l].Capacity
+		}
+	}
+	return m
+}

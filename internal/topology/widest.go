@@ -1,0 +1,111 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// WidestPath computes the maximum-bottleneck ("widest") path from src to
+// dst under per-link weights — the section IX rule for general topologies:
+// "a max/min algorithm has to be used to find the best path and the rate
+// in that path. This is done by first finding the minimum rate of each
+// path and then taking the path with the maximum such rate."
+//
+// weight gives each directed link's current rate (e.g. the RM/RA plane's
+// R values); the returned path maximises the minimum weight along it, with
+// hop count as a tie-break so routes stay loop-free and short. The second
+// return is that bottleneck rate. An error is returned when dst is
+// unreachable through positive-weight links.
+func WidestPath(g *Graph, src, dst NodeID, weight func(LinkID) float64) ([]LinkID, float64, error) {
+	if src == dst {
+		return nil, math.Inf(1), nil
+	}
+	n := len(g.Nodes)
+	bottleneck := make([]float64, n)
+	hops := make([]int, n)
+	prevLink := make([]LinkID, n)
+	for i := range bottleneck {
+		bottleneck[i] = math.Inf(-1)
+		hops[i] = math.MaxInt32
+		prevLink[i] = None
+	}
+	bottleneck[src] = math.Inf(1)
+	hops[src] = 0
+
+	pq := &widestHeap{{node: src, width: math.Inf(1), hops: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(widestItem)
+		if cur.width < bottleneck[cur.node] ||
+			(cur.width == bottleneck[cur.node] && cur.hops > hops[cur.node]) {
+			continue // stale entry
+		}
+		if cur.node == dst {
+			break
+		}
+		for _, lid := range g.Out(cur.node) {
+			w := weight(lid)
+			if w <= 0 {
+				continue
+			}
+			next := g.Links[lid].To
+			width := math.Min(cur.width, w)
+			h := cur.hops + 1
+			if width > bottleneck[next] || (width == bottleneck[next] && h < hops[next]) {
+				bottleneck[next] = width
+				hops[next] = h
+				prevLink[next] = lid
+				heap.Push(pq, widestItem{node: next, width: width, hops: h})
+			}
+		}
+	}
+	if math.IsInf(bottleneck[dst], -1) {
+		return nil, 0, fmt.Errorf("topology: no positive-weight path %d → %d", src, dst)
+	}
+	// reconstruct
+	var rev []LinkID
+	for at := dst; at != src; {
+		l := prevLink[at]
+		if l == None {
+			return nil, 0, fmt.Errorf("topology: path reconstruction broke at %d", at)
+		}
+		rev = append(rev, l)
+		at = g.Links[l].From
+	}
+	path := make([]LinkID, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, bottleneck[dst], nil
+}
+
+type widestItem struct {
+	node  NodeID
+	width float64
+	hops  int
+}
+
+// widestHeap is a max-heap on width (min on hops as tie-break).
+type widestHeap []widestItem
+
+func (h widestHeap) Len() int { return len(h) }
+func (h widestHeap) Less(i, j int) bool {
+	if h[i].width != h[j].width {
+		return h[i].width > h[j].width
+	}
+	return h[i].hops < h[j].hops
+}
+func (h widestHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *widestHeap) Push(x any)   { *h = append(*h, x.(widestItem)) }
+func (h *widestHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// CapacityWeight adapts static link capacities as widest-path weights.
+func CapacityWeight(g *Graph) func(LinkID) float64 {
+	return func(l LinkID) float64 { return g.Links[l].Capacity }
+}

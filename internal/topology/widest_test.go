@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+// diamond builds src -(a: capTop1)- t -(capTop2)- dst and
+//
+//	src -(b: capBot1)- u -(capBot2)- dst.
+func diamond(capTop1, capTop2, capBot1, capBot2 float64) (*Graph, NodeID, NodeID) {
+	g := NewGraph()
+	src := g.AddNode(Host, "src", 0)
+	t := g.AddNode(Switch, "t", 1)
+	u := g.AddNode(Switch, "u", 1)
+	dst := g.AddNode(Host, "dst", 0)
+	g.AddDuplex(src, t, capTop1, 1e-3, 1)
+	g.AddDuplex(t, dst, capTop2, 1e-3, 1)
+	g.AddDuplex(src, u, capBot1, 1e-3, 1)
+	g.AddDuplex(u, dst, capBot2, 1e-3, 1)
+	return g, src, dst
+}
+
+func TestWidestPathPicksFatterRoute(t *testing.T) {
+	// top path bottleneck 5, bottom path bottleneck 8 → choose bottom
+	g, src, dst := diamond(10, 5, 8, 9)
+	path, width, err := WidestPath(g, src, dst, CapacityWeight(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width != 8 {
+		t.Fatalf("bottleneck = %v, want 8", width)
+	}
+	if len(path) != 2 {
+		t.Fatalf("path = %v", path)
+	}
+	if g.Links[path[0]].To != g.Nodes[2].ID { // via u
+		t.Fatalf("took the narrow route: %v", path)
+	}
+}
+
+func TestWidestPathTieBreaksOnHops(t *testing.T) {
+	// equal bottlenecks: prefer the shorter path
+	g := NewGraph()
+	src := g.AddNode(Host, "src", 0)
+	mid1 := g.AddNode(Switch, "m1", 1)
+	mid2 := g.AddNode(Switch, "m2", 1)
+	dst := g.AddNode(Host, "dst", 0)
+	g.AddDuplex(src, dst, 10, 1e-3, 1) // direct, 1 hop
+	g.AddDuplex(src, mid1, 10, 1e-3, 1)
+	g.AddDuplex(mid1, mid2, 10, 1e-3, 1)
+	g.AddDuplex(mid2, dst, 10, 1e-3, 1)
+	path, width, err := WidestPath(g, src, dst, CapacityWeight(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width != 10 || len(path) != 1 {
+		t.Fatalf("path = %v width = %v, want direct 1-hop", path, width)
+	}
+}
+
+func TestWidestPathDynamicWeights(t *testing.T) {
+	// same diamond, but dynamic weights invert the static choice:
+	// the fat bottom route is congested (residual rate low)
+	g, src, dst := diamond(10, 5, 8, 9)
+	residual := map[LinkID]float64{}
+	for _, l := range g.Links {
+		residual[l.ID] = l.Capacity
+	}
+	// congest the bottom route's first hop (links 4/5 are src↔u)
+	residual[4] = 1
+	path, width, err := WidestPath(g, src, dst, func(l LinkID) float64 { return residual[l] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width != 5 {
+		t.Fatalf("bottleneck = %v, want 5 (top route)", width)
+	}
+	if g.Links[path[0]].To != g.Nodes[1].ID { // via t
+		t.Fatalf("did not reroute around congestion: %v", path)
+	}
+}
+
+func TestWidestPathSelf(t *testing.T) {
+	g, src, _ := diamond(1, 1, 1, 1)
+	path, width, err := WidestPath(g, src, src, CapacityWeight(g))
+	if err != nil || path != nil || !math.IsInf(width, 1) {
+		t.Fatalf("self path = %v %v %v", path, width, err)
+	}
+}
+
+func TestWidestPathUnreachable(t *testing.T) {
+	g, src, dst := diamond(1, 1, 1, 1)
+	zero := func(LinkID) float64 { return 0 }
+	if _, _, err := WidestPath(g, src, dst, zero); err == nil {
+		t.Fatal("unreachable (all-zero weights) not detected")
+	}
+}
+
+func TestWidestPathOnFatTree(t *testing.T) {
+	g, hosts, err := FatTree(4, 1e9, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, width, err := WidestPath(g, hosts[0], hosts[15], CapacityWeight(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width != 1e9 {
+		t.Fatalf("uniform fat-tree bottleneck = %v", width)
+	}
+	// path must be valid and loop-free
+	at := hosts[0]
+	seen := map[NodeID]bool{at: true}
+	for _, l := range path {
+		if g.Links[l].From != at {
+			t.Fatal("discontinuous path")
+		}
+		at = g.Links[l].To
+		if seen[at] {
+			t.Fatal("loop in widest path")
+		}
+		seen[at] = true
+	}
+	if at != hosts[15] {
+		t.Fatal("wrong destination")
+	}
+}
+
+func TestWidestPathMatchesPathMinCapacity(t *testing.T) {
+	g, src, dst := diamond(7, 3, 2, 9)
+	path, width, err := WidestPath(g, src, dst, CapacityWeight(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PathMinCapacity(path); got != width {
+		t.Fatalf("PathMinCapacity %v != reported width %v", got, width)
+	}
+}

@@ -1,0 +1,93 @@
+// Package transport provides the host-side plumbing shared by the two
+// transports in this repository: the TCP Reno baseline (internal/tcp) and
+// the SCDA explicit-window transport (internal/scdatp). A Stack demuxes
+// packets arriving at one host to per-flow endpoints, and a FlowIDSource
+// hands out unique flow identifiers (which also serve as ECMP hashes).
+package transport
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Endpoint consumes packets for one flow at one host.
+type Endpoint interface {
+	Receive(*netsim.Packet)
+}
+
+// Stack is the per-host demultiplexer.
+type Stack struct {
+	Net  *netsim.Network
+	Node topology.NodeID
+	eps  map[netsim.FlowID]Endpoint
+}
+
+// NewStack registers a demux handler for the node and returns the stack.
+func NewStack(n *netsim.Network, node topology.NodeID) *Stack {
+	s := &Stack{Net: n, Node: node, eps: make(map[netsim.FlowID]Endpoint)}
+	n.Listen(node, s.dispatch)
+	return s
+}
+
+func (s *Stack) dispatch(p *netsim.Packet) {
+	if ep, ok := s.eps[p.Flow]; ok {
+		ep.Receive(p)
+	}
+}
+
+// Bind attaches an endpoint to a flow ID.
+func (s *Stack) Bind(id netsim.FlowID, ep Endpoint) { s.eps[id] = ep }
+
+// Unbind detaches a flow.
+func (s *Stack) Unbind(id netsim.FlowID) { delete(s.eps, id) }
+
+// Bound returns the number of attached endpoints (open flows at this host).
+func (s *Stack) Bound() int { return len(s.eps) }
+
+// FlowIDSource allocates unique flow IDs.
+type FlowIDSource struct{ next netsim.FlowID }
+
+// Next returns a fresh flow ID, starting at 1.
+func (f *FlowIDSource) Next() netsim.FlowID {
+	f.next++
+	return f.next
+}
+
+// Hash derives the ECMP hash for a flow ID with a 64-bit mix so that
+// consecutive IDs spread across equal-cost paths.
+func Hash(id netsim.FlowID) uint64 {
+	z := uint64(id) * 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	return z ^ (z >> 27)
+}
+
+// Wire sizes shared by both transports.
+const (
+	// MSS is the data payload per packet in bytes.
+	MSS = 1460
+	// HeaderBytes covers IP+TCP-style headers.
+	HeaderBytes = 40
+	// DataPacketBytes is the on-wire size of a full data packet.
+	DataPacketBytes = MSS + HeaderBytes
+	// AckBytes is the on-wire size of a pure acknowledgement.
+	AckBytes = HeaderBytes
+)
+
+// Segments returns the number of MSS-sized segments needed for size bytes.
+func Segments(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (size + MSS - 1) / MSS
+}
+
+// SegmentWire returns the on-wire size of segment seq of a size-byte
+// transfer (the final segment may be short).
+func SegmentWire(size int64, seq int64) int {
+	total := Segments(size)
+	if seq < total-1 {
+		return DataPacketBytes
+	}
+	last := int(size - (total-1)*MSS)
+	return last + HeaderBytes
+}

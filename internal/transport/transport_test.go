@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+type countingEP struct{ got int }
+
+func (c *countingEP) Receive(*netsim.Packet) { c.got++ }
+
+func TestStackDemux(t *testing.T) {
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Host, "a", 0)
+	b := g.AddNode(topology.Host, "b", 0)
+	g.AddDuplex(a, b, 1e9, 1e-3, 1)
+	s := sim.New()
+	n := netsim.New(s, g, netsim.DefaultConfig())
+	st := NewStack(n, b)
+	ep1, ep2 := &countingEP{}, &countingEP{}
+	st.Bind(1, ep1)
+	st.Bind(2, ep2)
+	if st.Bound() != 2 {
+		t.Fatalf("Bound = %d", st.Bound())
+	}
+	n.Send(&netsim.Packet{Flow: 1, Src: a, Dst: b, Size: 100})
+	n.Send(&netsim.Packet{Flow: 2, Src: a, Dst: b, Size: 100})
+	n.Send(&netsim.Packet{Flow: 2, Src: a, Dst: b, Size: 100})
+	n.Send(&netsim.Packet{Flow: 9, Src: a, Dst: b, Size: 100}) // unbound: dropped silently
+	s.Run()
+	if ep1.got != 1 || ep2.got != 2 {
+		t.Fatalf("demux: ep1=%d ep2=%d", ep1.got, ep2.got)
+	}
+	st.Unbind(2)
+	n.Send(&netsim.Packet{Flow: 2, Src: a, Dst: b, Size: 100})
+	s.Run()
+	if ep2.got != 2 {
+		t.Fatal("unbound endpoint still receiving")
+	}
+}
+
+func TestFlowIDSourceUnique(t *testing.T) {
+	var src FlowIDSource
+	seen := map[netsim.FlowID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := src.Next()
+		if id <= 0 || seen[id] {
+			t.Fatalf("ID %d invalid or repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	// consecutive flow IDs must map to well-spread hashes (ECMP balance)
+	buckets := make([]int, 8)
+	for i := 1; i <= 8000; i++ {
+		buckets[Hash(netsim.FlowID(i))%8]++
+	}
+	for i, b := range buckets {
+		if b < 800 || b > 1200 {
+			t.Fatalf("bucket %d has %d of 8000: hash imbalanced", i, b)
+		}
+	}
+}
+
+func TestSegmentsProperties(t *testing.T) {
+	f := func(raw uint32) bool {
+		size := int64(raw % (100 << 20))
+		segs := Segments(size)
+		if size == 0 {
+			return segs == 0
+		}
+		// enough segments to carry the payload, none wasted
+		return segs*MSS >= size && (segs-1)*MSS < size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentWireSums(t *testing.T) {
+	f := func(raw uint32) bool {
+		size := int64(raw%(10<<20)) + 1
+		segs := Segments(size)
+		var payload int64
+		for s := int64(0); s < segs; s++ {
+			w := SegmentWire(size, s)
+			if w <= HeaderBytes || w > DataPacketBytes {
+				return false
+			}
+			payload += int64(w - HeaderBytes)
+		}
+		return payload == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/sim"
+)
+
+func TestMixedReadsFollowWrites(t *testing.T) {
+	spec := DefaultMixedSpec()
+	reqs := spec.Generate(sim.NewRNG(1), 60)
+	writeTime := map[content.ID]float64{}
+	reads := 0
+	for _, r := range reqs {
+		switch r.Op {
+		case Write:
+			writeTime[r.Content] = r.At
+		case Read:
+			reads++
+			wt, ok := writeTime[r.Content]
+			if !ok {
+				t.Fatalf("read of never-written content %s", r.Content)
+			}
+			if r.At < wt {
+				t.Fatalf("read at %v precedes write at %v", r.At, wt)
+			}
+		}
+	}
+	if reads == 0 {
+		t.Fatal("no reads generated")
+	}
+	// read:write ratio near ReadsPerWrite
+	ratio := float64(reads) / float64(len(writeTime))
+	if ratio < spec.ReadsPerWrite/3 || ratio > spec.ReadsPerWrite*3 {
+		t.Fatalf("read ratio = %v, want ≈ %v", ratio, spec.ReadsPerWrite)
+	}
+}
+
+func TestMixedZipfSkew(t *testing.T) {
+	spec := DefaultMixedSpec()
+	spec.WriteRate = 2
+	spec.ReadsPerWrite = 20
+	reqs := spec.Generate(sim.NewRNG(2), 60)
+	counts := map[content.ID]int{}
+	total := 0
+	for _, r := range reqs {
+		if r.Op == Read {
+			counts[r.Content]++
+			total++
+		}
+	}
+	// hottest content should draw far more than the uniform share
+	maxReads := 0
+	for _, c := range counts {
+		if c > maxReads {
+			maxReads = c
+		}
+	}
+	uniform := float64(total) / float64(len(counts))
+	if float64(maxReads) < 3*uniform {
+		t.Fatalf("hottest content %d reads vs uniform %v: no Zipf skew", maxReads, uniform)
+	}
+}
+
+func TestMixedClassDeclaration(t *testing.T) {
+	spec := DefaultMixedSpec()
+	reqs := spec.Generate(sim.NewRNG(3), 120)
+	seen := map[content.Class]int{}
+	for _, r := range reqs {
+		if r.Op == Write {
+			seen[r.Class]++
+		}
+	}
+	for _, cls := range []content.Class{content.Interactive, content.SemiInteractive, content.Passive} {
+		if seen[cls] == 0 {
+			t.Fatalf("class %v never declared: %v", cls, seen)
+		}
+	}
+	// passive is the majority (the paper's 60%-cold observation)
+	if seen[content.Passive] <= seen[content.Interactive] {
+		t.Fatal("passive not the majority class")
+	}
+}
+
+func TestMixedNoClasses(t *testing.T) {
+	spec := DefaultMixedSpec()
+	spec.DeclareClasses = false
+	for _, r := range spec.Generate(sim.NewRNG(4), 30) {
+		if r.Op == Write && r.Class != content.Unknown {
+			t.Fatal("class declared with DeclareClasses off")
+		}
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	bad := []MixedSpec{
+		{WriteRate: 0, Clients: 1, ZipfS: 1.2, MeanSizeBytes: 1, SigmaLog: 1, CapBytes: 1},
+		{WriteRate: 1, Clients: 1, ZipfS: 1.0, MeanSizeBytes: 1, SigmaLog: 1, CapBytes: 1},
+		{WriteRate: 1, Clients: 1, ZipfS: 1.2, MeanSizeBytes: 0, SigmaLog: 1, CapBytes: 1},
+		{WriteRate: 1, Clients: 1, ZipfS: 1.2, MeanSizeBytes: 1, SigmaLog: 1, CapBytes: 1, ReadsPerWrite: -1},
+	}
+	for i, spec := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %d accepted", i)
+				}
+			}()
+			spec.Generate(sim.NewRNG(0), 1)
+		}()
+	}
+}
+
+func TestZipfRankDistribution(t *testing.T) {
+	rng := sim.NewRNG(5)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		r := zipfRank(rng, 10, 1.5)
+		if r < 0 || r >= 10 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// monotone-ish decreasing head
+	if !(counts[0] > counts[1] && counts[1] > counts[3]) {
+		t.Fatalf("zipf counts not decreasing: %v", counts)
+	}
+	// ratio of rank 0 to rank 1 ≈ 2^1.5
+	ratio := float64(counts[0]) / float64(counts[1])
+	if math.Abs(ratio-math.Pow(2, 1.5))/math.Pow(2, 1.5) > 0.25 {
+		t.Fatalf("rank0/rank1 = %v, want ≈ %v", ratio, math.Pow(2, 1.5))
+	}
+	if zipfRank(rng, 1, 1.5) != 0 {
+		t.Fatal("single-element zipf not rank 0")
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/content"
+)
+
+// WriteTrace serialises requests as CSV (time,client,content,size,op,class)
+// so generated workloads can be stored, inspected and replayed byte-for-
+// byte — the repo's stand-in for the paper's trace files.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at", "client", "content", "size", "op", "class"}); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		rec := []string{
+			strconv.FormatFloat(r.At, 'g', -1, 64),
+			strconv.Itoa(r.Client),
+			string(r.Content),
+			strconv.FormatInt(r.Size, 10),
+			r.Op.String(),
+			strconv.Itoa(int(r.Class)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if len(header) != 6 || header[0] != "at" {
+		return nil, fmt.Errorf("workload: unrecognised trace header %v", header)
+	}
+	var reqs []Request
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		at, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d time: %w", line, err)
+		}
+		client, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d client: %w", line, err)
+		}
+		size, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d size: %w", line, err)
+		}
+		var op Op
+		switch rec[4] {
+		case "write":
+			op = Write
+		case "read":
+			op = Read
+		default:
+			return nil, fmt.Errorf("workload: trace line %d op %q", line, rec[4])
+		}
+		cls, err := strconv.Atoi(rec[5])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d class: %w", line, err)
+		}
+		reqs = append(reqs, Request{
+			At: at, Client: client, Content: content.ID(rec[2]),
+			Size: size, Op: op, Class: content.Class(cls),
+		})
+	}
+	return reqs, nil
+}

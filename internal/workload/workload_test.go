@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestVideoWorkloadShape(t *testing.T) {
+	spec := DefaultVideoSpec()
+	reqs := spec.Generate(sim.NewRNG(1), 100)
+	if len(reqs) == 0 {
+		t.Fatal("no requests")
+	}
+	st := Summarize(reqs)
+	// arrival rate ≈ 30 videos/s plus control flows over 100 s
+	videos := 0
+	for _, r := range reqs {
+		if r.Size >= ControlFlowMaxBytes {
+			videos++
+		}
+		if r.Size > spec.CapBytes {
+			t.Fatalf("video size %d exceeds cap", r.Size)
+		}
+		if r.At < 0 || r.At >= 100 {
+			t.Fatalf("request at %v outside horizon", r.At)
+		}
+		if r.Client < 0 || r.Client >= spec.Clients {
+			t.Fatalf("client %d out of range", r.Client)
+		}
+	}
+	wantVideos := spec.ArrivalRate * 100
+	if math.Abs(float64(videos)-wantVideos)/wantVideos > 0.15 {
+		t.Fatalf("videos = %d, want ≈ %v", videos, wantVideos)
+	}
+	if st.ControlCount == 0 {
+		t.Fatal("no control flows with ControlFlows on")
+	}
+}
+
+func TestVideoWorkloadNoControl(t *testing.T) {
+	spec := DefaultVideoSpec()
+	spec.ControlFlows = false
+	reqs := spec.Generate(sim.NewRNG(2), 50)
+	for _, r := range reqs {
+		if r.Size < ControlFlowMaxBytes {
+			t.Fatalf("control-sized flow %d with ControlFlows off", r.Size)
+		}
+	}
+}
+
+func TestVideoSizeCap(t *testing.T) {
+	spec := DefaultVideoSpec()
+	spec.SigmaLog = 2.5 // fat spread to hit the cap often
+	reqs := spec.Generate(sim.NewRNG(3), 60)
+	hitCap := 0
+	for _, r := range reqs {
+		if r.Size == spec.CapBytes {
+			hitCap++
+		}
+		if r.Size > spec.CapBytes {
+			t.Fatal("cap exceeded")
+		}
+	}
+	if hitCap == 0 {
+		t.Fatal("30MB cap never engaged despite fat distribution")
+	}
+}
+
+func TestDCWorkloadShape(t *testing.T) {
+	spec := DefaultDCSpec()
+	reqs := spec.Generate(sim.NewRNG(4), 100)
+	if len(reqs) < 1000 {
+		t.Fatalf("only %d requests", len(reqs))
+	}
+	small := 0
+	for _, r := range reqs {
+		if r.Size <= 10_000 {
+			small++
+		}
+		if r.Size > spec.CapBytes {
+			t.Fatal("cap exceeded")
+		}
+	}
+	frac := float64(small) / float64(len(reqs))
+	if frac < 0.6 || frac > 0.95 {
+		t.Fatalf("mice fraction = %v, want ≈ 0.8 (Benson et al. shape)", frac)
+	}
+}
+
+func TestParetoWorkloadMoments(t *testing.T) {
+	spec := DefaultParetoSpec()
+	reqs := spec.Generate(sim.NewRNG(5), 200)
+	st := Summarize(reqs)
+	// 200 flows/s × 200 s = 40000 flows
+	if math.Abs(float64(st.Count)-40000)/40000 > 0.1 {
+		t.Fatalf("count = %d, want ≈ 40000", st.Count)
+	}
+	// heavy tail: generous band around the 500 KB mean
+	if st.MeanBytes < 300e3 || st.MeanBytes > 900e3 {
+		t.Fatalf("mean size = %v, want ≈ 500e3", st.MeanBytes)
+	}
+}
+
+func TestGeneratorsSorted(t *testing.T) {
+	gens := []Generator{DefaultVideoSpec(), DefaultDCSpec(), DefaultParetoSpec()}
+	for i, g := range gens {
+		reqs := g.Generate(sim.NewRNG(uint64(i)), 30)
+		if !sort.SliceIsSorted(reqs, func(a, b int) bool { return reqs[a].At < reqs[b].At }) {
+			t.Errorf("generator %d output not sorted", i)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := DefaultVideoSpec().Generate(sim.NewRNG(7), 20)
+	b := DefaultVideoSpec().Generate(sim.NewRNG(7), 20)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInvalidSpecsPanic(t *testing.T) {
+	cases := []Generator{
+		VideoSpec{ArrivalRate: 0, Clients: 1, MeanSizeBytes: 1, SigmaLog: 1, CapBytes: 1},
+		DCSpec{ArrivalRate: 1, Clients: 0},
+		ParetoSpec{ArrivalRate: 1, Clients: 1, MeanSizeBytes: 5, Shape: 0.9},
+	}
+	for i, g := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %d accepted", i)
+				}
+			}()
+			g.Generate(sim.NewRNG(0), 1)
+		}()
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	reqs := DefaultDCSpec().Generate(sim.NewRNG(9), 10)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip count %d != %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("not,a,trace\n")); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	bad := "at,client,content,size,op,class\nxx,0,c,10,write,0\n"
+	if _, err := ReadTrace(bytes.NewBufferString(bad)); err == nil {
+		t.Fatal("bad time accepted")
+	}
+	bad = "at,client,content,size,op,class\n1.0,0,c,10,frob,0\n"
+	if _, err := ReadTrace(bytes.NewBufferString(bad)); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.Count != 0 || st.TotalBytes != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestRequestsWithinHorizonProperty(t *testing.T) {
+	f := func(seed uint64, durRaw uint8) bool {
+		dur := float64(durRaw%50) + 1
+		reqs := DefaultParetoSpec().Generate(sim.NewRNG(seed), dur)
+		for _, r := range reqs {
+			if r.At < 0 || r.At >= dur || r.Size <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Write.String() != "write" || Read.String() != "read" {
+		t.Fatal("Op strings wrong")
+	}
+}
