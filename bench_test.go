@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 // benchScale keeps a full figure run around a second so the whole suite
@@ -51,12 +52,33 @@ func BenchmarkFig16DCK3FCTCDF(b *testing.B)           { benchFigure(b, experimen
 func BenchmarkFig17ParetoThroughput(b *testing.B)     { benchFigure(b, experiments.Fig17) }
 func BenchmarkFig18ParetoFCTCDF(b *testing.B)         { benchFigure(b, experiments.Fig18) }
 
-// BenchmarkAblations runs the eight design-claim validations of DESIGN.md.
+// benchAllFigures times the full 12-figure suite on the given pool. A
+// serial pool (runner.Serial()) gives stable, machine-independent per-run
+// cost; the parallel variant reports the wall-clock win of the runner's
+// experiment-level fan-out. Same-seed results are identical either way.
+func benchAllFigures(b *testing.B, pool *runner.Pool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		experiments.ClearScenarioCache() // measure the full simulation
+		sc := benchScale()
+		sc.Seed = uint64(i + 1)
+		if _, err := experiments.RunFigures(nil, sc, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllFiguresSerial(b *testing.B)   { benchAllFigures(b, runner.Serial()) }
+func BenchmarkAllFiguresParallel(b *testing.B) { benchAllFigures(b, nil) }
+
+// BenchmarkAblations runs the A1-A11 design-claim validations serially so
+// per-ablation cost stays comparable across runs; use scda-bench -ablations
+// for the parallel path.
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sc := benchScale()
 		sc.Seed = uint64(i + 1)
-		rs, err := experiments.AllAblations(sc)
+		rs, err := experiments.RunAblations(sc, runner.Serial())
 		if err != nil {
 			b.Fatal(err)
 		}

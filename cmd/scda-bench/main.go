@@ -6,11 +6,18 @@
 //
 //	scda-bench [-scale quick|paper] [-figures fig07,fig13] [-ablations]
 //	           [-out results] [-seed 1] [-duration 30]
+//	           [-workers 0] [-reps 1]
 //
 // At -scale paper the suite reproduces the published parameters
 // (X=500/200 Mb/s, 100 s horizons) and takes correspondingly longer;
 // quick scale divides bandwidth and arrival rates by 10 so shapes and
 // win factors are preserved at a fraction of the cost.
+//
+// Independent runs (figures, sweep points, ablations, replicate seeds)
+// fan out across -workers goroutines (0 = GOMAXPROCS, 1 = serial);
+// results are seed-deterministic and identical at any worker count.
+// With -reps > 1 each figure is replicated at seeds derived from -seed
+// and the CSV series carry mean ± 95% CI error bars in a yerr column.
 package main
 
 import (
@@ -19,10 +26,17 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/runner"
 )
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scda-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	scale := flag.String("scale", "quick", "quick or paper")
@@ -32,6 +46,8 @@ func main() {
 	out := flag.String("out", "results", "output directory for CSV series")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	duration := flag.Float64("duration", 0, "override simulated horizon in seconds")
+	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS, 1 = serial)")
+	reps := flag.Int("reps", 1, "replicate seeds per figure; >1 adds 95% CI error bars")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -49,24 +65,50 @@ func main() {
 		sc.Duration = *duration
 	}
 
+	pool := runner.New(*workers)
+
 	ids := experiments.FigureIDs()
 	if *figures != "all" {
 		ids = strings.Split(*figures, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
 
-	fmt.Printf("SCDA reproduction bench — scale=%s duration=%.0fs bw×%.2f arrivals×%.2f seed=%d\n\n",
-		*scale, sc.Duration, sc.BWScale, sc.ArrivalScale, sc.Seed)
+	fmt.Printf("SCDA reproduction bench — scale=%s duration=%.0fs bw×%.2f arrivals×%.2f seed=%d workers=%d reps=%d\n\n",
+		*scale, sc.Duration, sc.BWScale, sc.ArrivalScale, sc.Seed, pool.Workers(), *reps)
 
-	for _, id := range ids {
-		f, err := experiments.Figure(strings.TrimSpace(id), sc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "scda-bench: %s: %v\n", id, err)
-			os.Exit(1)
+	start := time.Now()
+	var results []experiments.FigureResult
+	var err error
+	if *reps > 1 {
+		// flatten the (figure, seed) grid onto one pool so both axes fan
+		// out, then aggregate each figure's replicates to mean ± 95% CI
+		seeds := runner.DeriveSeeds(sc.Seed, *reps)
+		var flat []experiments.FigureResult
+		flat, err = runner.Map(pool, len(ids)*(*reps), func(i int) (experiments.FigureResult, error) {
+			rsc := sc
+			rsc.Seed = seeds[i%*reps]
+			return experiments.Figure(ids[i/(*reps)], rsc)
+		})
+		if err == nil {
+			results = make([]experiments.FigureResult, len(ids))
+			for f := range ids {
+				results[f] = experiments.AggregateFigure(flat[f*(*reps) : (f+1)*(*reps)])
+			}
 		}
+	} else {
+		results, err = experiments.RunFigures(ids, sc, pool)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	for _, f := range results {
 		path, err := export.SaveSeries(*out, f.ID, f.Series)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scda-bench: saving %s: %v\n", f.ID, err)
-			os.Exit(1)
+			fail("saving %s: %v", f.ID, err)
 		}
 		fmt.Printf("%s  %s\n", f.ID, f.Title)
 		keys := make([]string, 0, len(f.Summary))
@@ -79,21 +121,21 @@ func main() {
 		}
 		fmt.Printf("    series -> %s\n\n", path)
 	}
+	fmt.Printf("figures completed in %.2fs wall-clock on %d workers\n\n",
+		elapsed.Seconds(), pool.Workers())
 
 	if *sweeps {
 		fmt.Println("sweeps:")
-		cs, err := experiments.ClientScaleSweep(nil, sc)
+		cs, err := experiments.ClientScaleSweep(nil, sc, pool)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scda-bench: client sweep: %v\n", err)
-			os.Exit(1)
+			fail("client sweep: %v", err)
 		}
 		if path, err := export.SaveSeries(*out, cs.ID, cs.Series); err == nil {
 			fmt.Printf("  %s -> %s\n", cs.Title, path)
 		}
-		ns, err := experiments.NNSScaleSweep(nil, sc)
+		ns, err := experiments.NNSScaleSweep(nil, sc, pool)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scda-bench: nns sweep: %v\n", err)
-			os.Exit(1)
+			fail("nns sweep: %v", err)
 		}
 		if path, err := export.SaveSeries(*out, ns.ID, ns.Series); err == nil {
 			fmt.Printf("  %s -> %s\n", ns.Title, path)
@@ -103,10 +145,9 @@ func main() {
 
 	if *ablations {
 		fmt.Println("ablations (design-claim validations):")
-		rs, err := experiments.AllAblations(sc)
+		rs, err := experiments.RunAblations(sc, pool)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scda-bench: ablations: %v\n", err)
-			os.Exit(1)
+			fail("ablations: %v", err)
 		}
 		for _, r := range rs {
 			status := "PASS"

@@ -6,7 +6,7 @@
 // simulator (the NS2 stand-in), TCP Reno and the SCDA explicit-rate
 // transport, the RM/RA rate-allocation plane (equations 2-6), the
 // FES/NNS/BS distributed file system, content-aware server selection,
-// power modelling, workload generators, and an experiment harness that
-// regenerates every figure of the paper's evaluation. See README.md,
-// DESIGN.md and EXPERIMENTS.md.
+// power modelling, workload generators, a parallel experiment orchestrator
+// (internal/runner), and an experiment harness that regenerates every
+// figure of the paper's evaluation. See README.md and EXPERIMENTS.md.
 package repro

@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/topology"
 )
@@ -48,6 +49,15 @@ func (f *FES) FailServer(node topology.NodeID) ([]Orphan, error) {
 			}
 		}
 	}
+	// nn.meta is a map, so orphans accumulate in nondeterministic order;
+	// sort so re-replication schedules the same events in the same order
+	// every run (seed-determinism contract of the experiment harness).
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].ID.Content != orphans[j].ID.Content {
+			return orphans[i].ID.Content < orphans[j].ID.Content
+		}
+		return orphans[i].ID.Index < orphans[j].ID.Index
+	})
 	bs.blocks = make(map[BlockID]bool)
 	bs.Used = 0
 	return orphans, nil

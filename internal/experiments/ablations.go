@@ -8,6 +8,7 @@ import (
 	"repro/internal/flowsim"
 	"repro/internal/netsim"
 	"repro/internal/ratealloc"
+	"repro/internal/runner"
 	"repro/internal/scdatp"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -433,20 +434,22 @@ func ablationOnFabric(build func() (*topology.Graph, []topology.NodeID, error)) 
 	}, nil
 }
 
-// AllAblations runs every ablation in order.
-func AllAblations(sc Scale) ([]AblationResult, error) {
+// RunAblations runs every ablation concurrently on the pool (nil = default
+// GOMAXPROCS pool; runner.Serial() for a plain loop), returning results in
+// A1..A11 order. Each ablation builds its entire simulation from sc.Seed,
+// so parallel results are identical to serial ones.
+func RunAblations(sc Scale, p *runner.Pool) ([]AblationResult, error) {
 	fns := []func(Scale) (AblationResult, error){
 		AblationMaxMin, AblationSLA, AblationPriority, AblationReservation,
 		AblationNNS, AblationPower, AblationSimplified, AblationTopology,
 		AblationOpenFlowSJF, AblationSchedulerSJF, AblationFailureRecovery,
 	}
-	var out []AblationResult
-	for _, fn := range fns {
-		r, err := fn(sc)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return runner.Map(p, len(fns), func(i int) (AblationResult, error) {
+		return fns[i](sc)
+	})
+}
+
+// AllAblations runs every ablation in order on the default pool.
+func AllAblations(sc Scale) ([]AblationResult, error) {
+	return RunAblations(sc, nil)
 }

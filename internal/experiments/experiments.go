@@ -1,8 +1,11 @@
 // Package experiments contains one runner per figure of the paper's
-// evaluation (section X) plus the ablations listed in DESIGN.md. Every
+// evaluation (section X) plus the A1-A11 design-claim ablations (see
+// EXPERIMENTS.md for the full figure and ablation tables). Every figure
 // runner builds both systems (SCDA and RandTCP) on the fig. 6 topology,
 // drives them with the same generated workload, and reduces the metrics to
-// the series the paper plots.
+// the series the paper plots. Suite-level entry points (RunFigures,
+// ReplicateFigure, RunAblations) fan independent runs out across an
+// internal/runner pool; same-seed results are identical to serial runs.
 //
 // Absolute numbers differ from the paper's NS2 testbed; the reproduction
 // targets are the curve shapes and the win factors (SCDA ~50% lower
@@ -12,9 +15,9 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -170,14 +173,15 @@ func meanY(pts []stats.Point) float64 {
 	return s / float64(len(pts))
 }
 
-// scenarioCache memoizes the expensive two-system runs: several figures
-// reduce the same scenario (figs. 7-9 share the video run, figs. 17/18 the
-// Pareto run), and simulations are deterministic given Scale, so re-running
-// would waste minutes at paper scale. Guarded for concurrent figure runs.
-var (
-	scenarioMu    sync.Mutex
-	scenarioCache = map[scenarioKey][2]*cluster.Metrics{}
-)
+// scenarios memoizes the expensive two-system runs: several figures reduce
+// the same scenario (figs. 7-9 share the video run, figs. 17/18 the Pareto
+// run), and simulations are deterministic given Scale, so re-running would
+// waste minutes at paper scale. The per-key singleflight lets distinct
+// scenarios simulate concurrently while duplicate requests wait on the
+// first; metrics published through the cache are only ever read (every
+// reduction builds fresh state from Metrics.Records), so concurrent figure
+// reductions over a shared run are race-free.
+var scenarios = runner.NewGroup[scenarioKey, [2]*cluster.Metrics]()
 
 type scenarioKey struct {
 	kind string
@@ -188,23 +192,21 @@ type scenarioKey struct {
 // ClearScenarioCache empties the memoized scenario runs; benchmarks call
 // it so every figure measurement pays its full simulation cost.
 func ClearScenarioCache() {
-	scenarioMu.Lock()
-	defer scenarioMu.Unlock()
-	scenarioCache = map[scenarioKey][2]*cluster.Metrics{}
+	scenarios.Clear()
 }
 
 func cachedRun(key scenarioKey, run func() (*cluster.Metrics, *cluster.Metrics, error)) (*cluster.Metrics, *cluster.Metrics, error) {
-	scenarioMu.Lock()
-	defer scenarioMu.Unlock()
-	if got, ok := scenarioCache[key]; ok {
-		return got[0], got[1], nil
-	}
-	a, b, err := run()
+	got, err := scenarios.Do(key, func() ([2]*cluster.Metrics, error) {
+		a, b, err := run()
+		if err != nil {
+			return [2]*cluster.Metrics{}, err
+		}
+		return [2]*cluster.Metrics{a, b}, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	scenarioCache[key] = [2]*cluster.Metrics{a, b}
-	return a, b, nil
+	return got[0], got[1], nil
 }
 
 // videoRun executes the X-A1 scenario once per system (X=500 Mb/s, K=3).
@@ -375,4 +377,66 @@ func AllFigures() map[string]func(Scale) (FigureResult, error) {
 func FigureIDs() []string {
 	return []string{"fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18"}
+}
+
+// RunFigures regenerates the given figures (all of them when ids is nil)
+// concurrently on the pool (nil = default GOMAXPROCS pool; runner.Serial()
+// recovers the plain loop), returning results in input order. Figures that
+// share a scenario deduplicate the simulation through the singleflight
+// cache, so fanning out never repeats work.
+func RunFigures(ids []string, sc Scale, p *runner.Pool) ([]FigureResult, error) {
+	if ids == nil {
+		ids = FigureIDs()
+	}
+	return runner.Map(p, len(ids), func(i int) (FigureResult, error) {
+		return Figure(ids[i], sc)
+	})
+}
+
+// ReplicateFigure runs one figure at reps seeds derived from sc.Seed,
+// fanned out on the pool, and aggregates the replicate series into mean
+// curves with 95% CI error bars (stats.Series.YErr). Summary values are
+// replaced by their replicate means, with a "<key>_ci95" half-width
+// companion per key and a "replicates" count. Callers that replicate many
+// figures at once should instead flatten the (figure, seed) grid onto one
+// pool with runner.Map + AggregateFigure, as cmd/scda-bench does, so both
+// axes fan out without nesting Map calls.
+func ReplicateFigure(id string, sc Scale, reps int, p *runner.Pool) (FigureResult, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	runs, err := runner.Replicate(p, sc.Seed, reps, func(rep int, seed uint64) (FigureResult, error) {
+		rsc := sc
+		rsc.Seed = seed
+		return Figure(id, rsc)
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+	return AggregateFigure(runs), nil
+}
+
+// AggregateFigure reduces replicate runs of the same figure (one per seed)
+// to a single result: mean series with 95% CI error bars, mean summary
+// values with "<key>_ci95" companions, and a "replicates" count. Labels
+// are taken from the first run. Panics on an empty slice.
+func AggregateFigure(runs []FigureResult) FigureResult {
+	out := runs[0]
+	allSeries := make([][]stats.Series, len(runs))
+	for i, r := range runs {
+		allSeries[i] = r.Series
+	}
+	out.Series = stats.AggregateSeries(allSeries)
+	summary := map[string]float64{"replicates": float64(len(runs))}
+	for k := range runs[0].Summary {
+		vals := make([]float64, 0, len(runs))
+		for _, r := range runs {
+			vals = append(vals, r.Summary[k])
+		}
+		mean, ci := stats.MeanCI(vals)
+		summary[k] = mean
+		summary[k+"_ci95"] = ci
+	}
+	out.Summary = summary
+	return out
 }

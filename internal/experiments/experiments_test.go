@@ -195,7 +195,7 @@ func TestAllAblations(t *testing.T) {
 
 func TestClientScaleSweep(t *testing.T) {
 	sc := tinyScale()
-	res, err := ClientScaleSweep([]int{5, 10}, sc)
+	res, err := ClientScaleSweep([]int{5, 10}, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,13 +213,13 @@ func TestClientScaleSweep(t *testing.T) {
 			t.Fatalf("SCDA above RandTCP at %v clients", res.Series[0].Points[i].X)
 		}
 	}
-	if _, err := ClientScaleSweep([]int{0}, sc); err == nil {
+	if _, err := ClientScaleSweep([]int{0}, sc, nil); err == nil {
 		t.Fatal("zero clients accepted")
 	}
 }
 
 func TestNNSScaleSweep(t *testing.T) {
-	res, err := NNSScaleSweep([]int{1, 4}, tinyScale())
+	res, err := NNSScaleSweep([]int{1, 4}, tinyScale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// snapshot renders a figure result to a canonical string so serial and
+// parallel runs can be compared byte for byte.
+func snapshot(f FigureResult) string {
+	s := fmt.Sprintf("%s|%s|%s|%s\n", f.ID, f.Title, f.XLabel, f.YLabel)
+	for _, ser := range f.Series {
+		s += fmt.Sprintf("%s:%v yerr=%v\n", ser.Name, ser.Points, ser.YErr)
+	}
+	keys := make([]string, 0, len(f.Summary))
+	for k := range f.Summary {
+		keys = append(keys, k)
+	}
+	// map order is random; canonicalise
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%v\n", k, f.Summary[k])
+	}
+	return s
+}
+
+// TestParallelFiguresDeterministic is the runner's core contract: the full
+// figure suite through an 8-wide pool is byte-identical to a serial run at
+// the same seed, with the scenario cache cold in both cases.
+func TestParallelFiguresDeterministic(t *testing.T) {
+	sc := tinyScale()
+
+	ClearScenarioCache()
+	serial, err := RunFigures(nil, sc, runner.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearScenarioCache()
+	parallel, err := RunFigures(nil, sc, runner.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d figures, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := snapshot(serial[i]), snapshot(parallel[i])
+		if s != p {
+			t.Fatalf("figure %s diverges between serial and parallel runs:\n--- serial\n%s--- parallel\n%s",
+				serial[i].ID, s, p)
+		}
+	}
+}
+
+// TestConcurrentFiguresShareScenarioCache hammers the singleflight from
+// many goroutines requesting overlapping figures (figs. 7-9 share one
+// scenario) — under -race this proves the cache publication and the shared
+// Metrics reductions are safe, and the pointer equality proves duplicate
+// requests really did coalesce onto one simulation.
+func TestConcurrentFiguresShareScenarioCache(t *testing.T) {
+	sc := tinyScale()
+	ClearScenarioCache()
+	ids := []string{"fig07", "fig08", "fig09", "fig07", "fig08", "fig09"}
+	var wg sync.WaitGroup
+	results := make([]FigureResult, len(ids))
+	errs := make([]error, len(ids))
+	for i := range ids {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = Figure(ids[i], sc)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", ids[i], err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		a, b := snapshot(results[i]), snapshot(results[i+3])
+		if a != b {
+			t.Fatalf("duplicate concurrent %s runs disagree", ids[i])
+		}
+	}
+	// 3 figures over 1 shared scenario: exactly one cache entry
+	if n := scenarios.Len(); n != 1 {
+		t.Fatalf("scenario cache holds %d entries, want 1 (singleflight failed to coalesce)", n)
+	}
+}
+
+func TestReplicateFigure(t *testing.T) {
+	sc := tinyScale()
+	sc.Duration = 5
+	ClearScenarioCache()
+	f, err := ReplicateFigure("fig13", sc, 3, runner.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Summary["replicates"] != 3 {
+		t.Fatalf("replicates = %v", f.Summary["replicates"])
+	}
+	if _, ok := f.Summary["scda_mean_fct_ci95"]; !ok {
+		t.Fatalf("missing CI companion key in %v", f.Summary)
+	}
+	for _, s := range f.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		if len(s.YErr) != len(s.Points) {
+			t.Fatalf("series %s: %d error bars for %d points", s.Name, len(s.YErr), len(s.Points))
+		}
+	}
+	// replication is itself deterministic
+	ClearScenarioCache()
+	again, err := ReplicateFigure("fig13", sc, 3, runner.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapshot(f) != snapshot(again) {
+		t.Fatal("replicated figure differs between parallel and serial execution")
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	sc := tinyScale()
+	sc.Duration = 5
+	counts := []int{5, 10}
+	serial, err := ClientScaleSweep(counts, sc, runner.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ClientScaleSweep(counts, sc, runner.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%v", serial) != fmt.Sprintf("%v", parallel) {
+		t.Fatalf("sweep diverges:\nserial   %v\nparallel %v", serial, parallel)
+	}
+}
+
+func TestRunAblationsParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	serial, err := RunAblations(sc, runner.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunAblations(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d ablations, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].ID != parallel[i].ID || serial[i].Passed != parallel[i].Passed {
+			t.Fatalf("ablation %s diverges", serial[i].ID)
+		}
+		if fmt.Sprintf("%v", serial[i].Values) == "" {
+			t.Fatal("empty values")
+		}
+		for k, v := range serial[i].Values {
+			if pv, ok := parallel[i].Values[k]; !ok || pv != v {
+				// NaN == NaN is false; treat both-NaN as equal
+				if !(v != v && pv != pv) {
+					t.Fatalf("%s: %s = %v serial vs %v parallel", serial[i].ID, k, v, pv)
+				}
+			}
+		}
+	}
+}
+
+// TestBaselineClientsDerivation guards the satellite fix: the sweep's
+// per-client-demand anchor must track the default DC spec, not a literal.
+func TestBaselineClientsDerivation(t *testing.T) {
+	if baselineClients != dcSpec(tinyScale()).Clients {
+		t.Fatalf("baselineClients = %d, default DC spec has %d clients",
+			baselineClients, dcSpec(tinyScale()).Clients)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // SweepResult is a parameter sweep over both systems.
@@ -19,12 +21,21 @@ type SweepResult struct {
 	Series []stats.Series
 }
 
+// baselineClients anchors the client-scale sweep's per-client demand: the
+// default DC workload spec spreads its arrival rate across this many
+// clients, so a population of n keeps demand fixed per client by scaling
+// total arrivals by n/baselineClients. Derived from the spec rather than
+// hardcoded so a change to the default cannot silently skew the sweep.
+var baselineClients = workload.DefaultDCSpec().Clients
+
 // ClientScaleSweep varies the client population — the paper's fig. 6
 // topology carries "n × 163" clients with n = 10 and n = 100 — and records
 // mean FCT for both systems at fixed per-client demand. SCDA's advantage
 // should persist (or grow) as contention rises, since random placement
-// collides more often at scale.
-func ClientScaleSweep(clientCounts []int, sc Scale) (SweepResult, error) {
+// collides more often at scale. Points run concurrently on the pool (nil =
+// default); each (population, system) cell derives its own RNG from
+// sc.Seed, so results match a serial sweep exactly.
+func ClientScaleSweep(clientCounts []int, sc Scale, p *runner.Pool) (SweepResult, error) {
 	if len(clientCounts) == 0 {
 		clientCounts = []int{10, 20, 40, 80}
 	}
@@ -39,30 +50,38 @@ func ClientScaleSweep(clientCounts []int, sc Scale) (SweepResult, error) {
 		if n <= 0 {
 			return res, fmt.Errorf("experiments: client count %d", n)
 		}
-		for si, sys := range []cluster.System{cluster.SCDA, cluster.RandTCP} {
-			cfg := baseConfig(sys, 500e6, 3, sc)
-			cfg.Topology.Clients = n
-			c, err := cluster.New(cfg)
-			if err != nil {
-				return res, err
-			}
-			spec := dcSpec(sc)
-			spec.Clients = n
-			// fixed per-client demand: total arrivals scale with n
-			spec.ArrivalRate = spec.ArrivalRate * float64(n) / 40
-			reqs := spec.Generate(sim.NewRNG(sc.Seed), sc.Duration)
-			m := c.RunWorkload(reqs, sc.Duration*3)
-			res.Series[si].Points = append(res.Series[si].Points,
-				stats.Point{X: float64(n), Y: m.MeanFCT()})
+	}
+	systems := []cluster.System{cluster.SCDA, cluster.RandTCP}
+	cells, err := runner.Map(p, len(clientCounts)*len(systems), func(i int) (stats.Point, error) {
+		n := clientCounts[i/len(systems)]
+		sys := systems[i%len(systems)]
+		cfg := baseConfig(sys, 500e6, 3, sc)
+		cfg.Topology.Clients = n
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return stats.Point{}, err
 		}
+		spec := dcSpec(sc)
+		spec.Clients = n
+		// fixed per-client demand: total arrivals scale with n
+		spec.ArrivalRate = spec.ArrivalRate * float64(n) / float64(baselineClients)
+		reqs := spec.Generate(sim.NewRNG(sc.Seed), sc.Duration)
+		m := c.RunWorkload(reqs, sc.Duration*3)
+		return stats.Point{X: float64(n), Y: m.MeanFCT()}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, pt := range cells {
+		res.Series[i%len(systems)].Points = append(res.Series[i%len(systems)].Points, pt)
 	}
 	return res, nil
 }
 
 // NNSScaleSweep varies the name-node count and records the hottest node's
 // metadata load, quantifying the paper's multiple-NNS scalability claim as
-// a curve (extends ablation A5).
-func NNSScaleSweep(nnsCounts []int, sc Scale) (SweepResult, error) {
+// a curve (extends ablation A5). Points run concurrently on the pool.
+func NNSScaleSweep(nnsCounts []int, sc Scale, p *runner.Pool) (SweepResult, error) {
 	if len(nnsCounts) == 0 {
 		nnsCounts = []int{1, 2, 4, 8}
 	}
@@ -77,12 +96,15 @@ func NNSScaleSweep(nnsCounts []int, sc Scale) (SweepResult, error) {
 		if n <= 0 {
 			return res, fmt.Errorf("experiments: NNS count %d", n)
 		}
+	}
+	pts, err := runner.Map(p, len(nnsCounts), func(i int) (stats.Point, error) {
+		n := nnsCounts[i]
 		cfg := cluster.DefaultConfig(cluster.SCDA)
 		cfg.Seed = sc.Seed
 		cfg.NumNNS = n
 		c, err := cluster.New(cfg)
 		if err != nil {
-			return res, err
+			return stats.Point{}, err
 		}
 		reqs := dcSpec(sc).Generate(sim.NewRNG(sc.Seed), sc.Duration)
 		c.RunWorkload(reqs, sc.Duration*2)
@@ -92,8 +114,11 @@ func NNSScaleSweep(nnsCounts []int, sc Scale) (SweepResult, error) {
 				peak = l
 			}
 		}
-		res.Series[0].Points = append(res.Series[0].Points,
-			stats.Point{X: float64(n), Y: float64(peak)})
+		return stats.Point{X: float64(n), Y: float64(peak)}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Series[0].Points = pts
 	return res, nil
 }

@@ -55,19 +55,40 @@ func WriteSeries(w io.Writer, series []stats.Series) error {
 }
 
 // WriteSeriesLong emits tidy long-format CSV: series,x,y — one row per
-// point, robust to series with different x grids (CDFs).
+// point, robust to series with different x grids (CDFs). When any series
+// carries replicate error bars (Series.YErr), a fourth yerr column holds
+// the 95% CI half-width (empty for series without error bars).
 func WriteSeriesLong(w io.Writer, series []stats.Series) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+	hasErr := false
+	for _, s := range series {
+		if s.YErr != nil {
+			hasErr = true
+			break
+		}
+	}
+	header := []string{"series", "x", "y"}
+	if hasErr {
+		header = append(header, "yerr")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, s := range series {
-		for _, p := range s.Points {
-			if err := cw.Write([]string{
+		for i, p := range s.Points {
+			row := []string{
 				s.Name,
 				strconv.FormatFloat(p.X, 'g', -1, 64),
 				strconv.FormatFloat(p.Y, 'g', -1, 64),
-			}); err != nil {
+			}
+			if hasErr {
+				cell := ""
+				if i < len(s.YErr) {
+					cell = strconv.FormatFloat(s.YErr[i], 'g', -1, 64)
+				}
+				row = append(row, cell)
+			}
+			if err := cw.Write(row); err != nil {
 				return err
 			}
 		}

@@ -77,6 +77,30 @@ func TestSaveSeries(t *testing.T) {
 	}
 }
 
+func TestWriteSeriesLongYErr(t *testing.T) {
+	series := []stats.Series{
+		{Name: "SCDA", Points: []stats.Point{{X: 1, Y: 10}, {X: 2, Y: 20}}, YErr: []float64{0.5, 0.25}},
+		{Name: "RandTCP", Points: []stats.Point{{X: 1, Y: 5}}}, // no error bars
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesLong(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 4 || rows[0][3] != "yerr" {
+		t.Fatalf("header = %v, want yerr column", rows[0])
+	}
+	if rows[1][3] != "0.5" || rows[2][3] != "0.25" {
+		t.Fatalf("yerr cells = %v %v", rows[1][3], rows[2][3])
+	}
+	if rows[3][3] != "" {
+		t.Fatalf("series without YErr should have empty cell, got %q", rows[3][3])
+	}
+}
+
 func TestEmptySeries(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteSeries(&buf, nil); err != nil {

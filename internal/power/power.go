@@ -108,6 +108,10 @@ type Server struct {
 // Model owns the power state of all servers.
 type Model struct {
 	servers map[topology.NodeID]*Server
+	// order lists servers by registration so that iteration — and the
+	// floating-point energy sums reduced over it — is deterministic; map
+	// iteration order varies run to run and would perturb totals by ulps.
+	order []*Server
 	// AvgWeight weights the latest measurement in the running average
 	// ("with more weight to the latest power consumption measurement").
 	AvgWeight float64
@@ -128,15 +132,16 @@ func (m *Model) Add(node topology.NodeID, p Profile) (*Server, error) {
 	}
 	s := &Server{Node: node, Profile: p, state: Active}
 	m.servers[node] = s
+	m.order = append(m.order, s)
 	return s, nil
 }
 
 // Get returns a server's power tracker, or nil.
 func (m *Model) Get(node topology.NodeID) *Server { return m.servers[node] }
 
-// Each visits all servers.
+// Each visits all servers in registration order.
 func (m *Model) Each(fn func(*Server)) {
-	for _, s := range m.servers {
+	for _, s := range m.order {
 		fn(s)
 	}
 }
@@ -239,7 +244,7 @@ func (s *Server) RateToPower(rate, now float64) float64 {
 // AccrueAll for an up-to-date figure).
 func (m *Model) TotalEnergy() float64 {
 	t := 0.0
-	for _, s := range m.servers {
+	for _, s := range m.order {
 		t += s.energyJ
 	}
 	return t
@@ -247,7 +252,7 @@ func (m *Model) TotalEnergy() float64 {
 
 // AccrueAll integrates all servers to time now.
 func (m *Model) AccrueAll(now float64) {
-	for _, s := range m.servers {
+	for _, s := range m.order {
 		s.Accrue(now)
 	}
 }

@@ -29,6 +29,7 @@ package ratealloc
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/netsim"
 	"repro/internal/topology"
@@ -145,9 +146,39 @@ type LinkState struct {
 	// pendingViolation marks a first-interval breach awaiting confirmation.
 	pendingViolation bool
 
-	flows map[FlowID]*Flow
+	// flows holds the link's registered flows in ascending FlowID order.
+	// A sorted slice rather than a map: the eq. 2/3 reductions sum flow
+	// rates in iteration order, and Go map iteration order varies run to
+	// run, which would make the floating-point sums — and therefore every
+	// "deterministic" simulation — differ in the last ulp between runs.
+	flows []*Flow
 
 	lastArrived float64 // previous cumulative arrival reading (Simplified)
+}
+
+// findFlow returns the index of id in the sorted flow slice, or the
+// insertion point with found=false.
+func (ls *LinkState) findFlow(id FlowID) (int, bool) {
+	i := sort.Search(len(ls.flows), func(i int) bool { return ls.flows[i].ID >= id })
+	return i, i < len(ls.flows) && ls.flows[i].ID == id
+}
+
+// addFlow inserts f keeping FlowID order; re-adding an ID is a no-op.
+func (ls *LinkState) addFlow(f *Flow) {
+	i, found := ls.findFlow(f.ID)
+	if found {
+		return
+	}
+	ls.flows = append(ls.flows, nil)
+	copy(ls.flows[i+1:], ls.flows[i:])
+	ls.flows[i] = f
+}
+
+// removeFlow deletes the flow with the given ID if present.
+func (ls *LinkState) removeFlow(id FlowID) {
+	if i, found := ls.findFlow(id); found {
+		ls.flows = append(ls.flows[:i], ls.flows[i+1:]...)
+	}
 }
 
 // NumFlows returns the number of flows registered on the link.
@@ -214,7 +245,6 @@ func NewController(g *topology.Graph, reader QueueReader, p Params) (*Controller
 			ID:       l.ID,
 			Capacity: l.Capacity,
 			R:        p.Alpha * l.Capacity, // optimistic start
-			flows:    make(map[FlowID]*Flow),
 		}
 	}
 	return c, nil
@@ -270,7 +300,7 @@ func (c *Controller) Register(f *Flow) error {
 	c.flows[f.ID] = f
 	for _, lid := range f.Path {
 		ls := c.links[lid]
-		ls.flows[f.ID] = f
+		ls.addFlow(f)
 		ls.Reserved += f.MinRate
 	}
 	// a new flow starts at the path's current advertised rate ...
@@ -306,7 +336,7 @@ func (c *Controller) Unregister(id FlowID) {
 	delete(c.flows, id)
 	for _, lid := range f.Path {
 		ls := c.links[lid]
-		delete(ls.flows, id)
+		ls.removeFlow(id)
 		ls.Reserved -= f.MinRate
 		c.recomputeLink(ls) // freed share is available immediately
 	}

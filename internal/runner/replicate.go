@@ -1,0 +1,28 @@
+package runner
+
+import "repro/internal/sim"
+
+// DeriveSeeds expands a base experiment seed into n per-replicate seeds via
+// the deterministic SplitMix64 stream, so replicates are statistically
+// independent yet fully reproducible from the base seed. The derivation is
+// position-stable: the first k seeds of DeriveSeeds(base, n) equal
+// DeriveSeeds(base, k).
+func DeriveSeeds(base uint64, n int) []uint64 {
+	rng := sim.NewRNG(base)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	return seeds
+}
+
+// Replicate runs fn once per seed derived from base, fanned out on the
+// pool, and returns the per-replicate results in replicate order. Each
+// invocation receives its own seed and must build all randomness from it
+// (sim.NewRNG(seed) per task, never shared across tasks).
+func Replicate[T any](p *Pool, base uint64, n int, fn func(rep int, seed uint64) (T, error)) ([]T, error) {
+	seeds := DeriveSeeds(base, n)
+	return Map(p, n, func(i int) (T, error) {
+		return fn(i, seeds[i])
+	})
+}

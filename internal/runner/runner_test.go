@@ -1,0 +1,292 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderAndResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Map(New(workers), 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(New(workers), 64, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		_, err := Map(New(workers), 16, func(i int) (int, error) {
+			if i == 5 || i == 11 {
+				return 0, sentinel
+			}
+			return i, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+func TestMapConcurrentFailsFast(t *testing.T) {
+	// Task 0 fails immediately; the submission loop must stop launching
+	// new tasks once the failure is visible, so far fewer than n run.
+	var started atomic.Int64
+	_, err := Map(New(2), 200, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		time.Sleep(5 * time.Millisecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if s := started.Load(); s >= 100 {
+		t.Fatalf("%d of 200 tasks started after an immediate failure; fail-fast is not working", s)
+	}
+}
+
+func TestMapSerialStopsAtError(t *testing.T) {
+	ran := 0
+	_, err := Map(Serial(), 10, func(i int) (int, error) {
+		ran++
+		if i == 3 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("err=%v ran=%d, want error after 4 tasks", err, ran)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var n atomic.Int64
+	if err := Each(New(4), 32, func(i int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 32 {
+		t.Fatalf("ran %d of 32", n.Load())
+	}
+}
+
+func TestDefaultPool(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default pool not shared")
+	}
+	if Default().Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	if Serial().Workers() != 1 {
+		t.Fatal("Serial pool width != 1")
+	}
+}
+
+func TestGroupMemoizesPerKey(t *testing.T) {
+	g := NewGroup[string, int]()
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := g.Do("a", func() (int, error) { calls++; return 42, nil })
+		if err != nil || v != 42 {
+			t.Fatalf("v=%d err=%v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestGroupSingleflightConcurrent(t *testing.T) {
+	g := NewGroup[int, int]()
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	const waiters = 16
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := g.Do(7, func() (int, error) {
+				calls.Add(1)
+				<-release // hold the flight open so everyone piles on
+				return 99, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times under contention, want 1", c)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+}
+
+func TestGroupDistinctKeysDontSerialize(t *testing.T) {
+	// If the group held its lock across fn, the second key's Do would
+	// deadlock waiting for the first (which blocks until the second runs).
+	g := NewGroup[int, int]()
+	aStarted := make(chan struct{})
+	bDone := make(chan struct{})
+	go func() {
+		g.Do(1, func() (int, error) {
+			close(aStarted)
+			<-bDone
+			return 1, nil
+		})
+	}()
+	<-aStarted
+	if _, err := g.Do(2, func() (int, error) { return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	close(bDone)
+}
+
+func TestGroupErrorNotCached(t *testing.T) {
+	g := NewGroup[string, int]()
+	calls := 0
+	if _, err := g.Do("k", func() (int, error) { calls++; return 0, errors.New("first") }); err == nil {
+		t.Fatal("error swallowed")
+	}
+	v, err := g.Do("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || calls != 2 {
+		t.Fatalf("v=%d err=%v calls=%d, want retry after error", v, err, calls)
+	}
+}
+
+func TestGroupClear(t *testing.T) {
+	g := NewGroup[string, int]()
+	calls := 0
+	fn := func() (int, error) { calls++; return calls, nil }
+	g.Do("k", fn)
+	g.Clear()
+	if g.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", g.Len())
+	}
+	v, _ := g.Do("k", fn)
+	if v != 2 || calls != 2 {
+		t.Fatalf("Clear did not force recompute: v=%d calls=%d", v, calls)
+	}
+}
+
+func TestGroupClearDuringFlight(t *testing.T) {
+	// Clear while a call is in flight: existing waiters still get the
+	// result; the next Do recomputes.
+	g := NewGroup[string, int]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		v, _ := g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		done <- v
+	}()
+	<-started
+	g.Clear()
+	close(release)
+	if v := <-done; v != 1 {
+		t.Fatalf("in-flight waiter got %d", v)
+	}
+	calls := 0
+	v, _ := g.Do("k", func() (int, error) { calls++; return 2, nil })
+	if v != 2 || calls != 1 {
+		t.Fatalf("post-Clear Do returned stale value %d (calls=%d)", v, calls)
+	}
+}
+
+func TestDeriveSeeds(t *testing.T) {
+	a := DeriveSeeds(1, 8)
+	b := DeriveSeeds(1, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("derivation not deterministic")
+		}
+	}
+	if prefix := DeriveSeeds(1, 3); prefix[0] != a[0] || prefix[2] != a[2] {
+		t.Fatal("derivation not position-stable")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatal("duplicate derived seed")
+		}
+		seen[s] = true
+	}
+	if other := DeriveSeeds(2, 1); other[0] == a[0] {
+		t.Fatal("different bases derived the same first seed")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	seeds := DeriveSeeds(5, 4)
+	got, err := Replicate(New(4), 5, 4, func(rep int, seed uint64) (uint64, error) {
+		if seed != seeds[rep] {
+			t.Errorf("rep %d seed %d, want %d", rep, seed, seeds[rep])
+		}
+		return seed, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != seeds[i] {
+			t.Fatalf("results out of replicate order: %v", got)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package runner
+
+import "sync"
+
+// call is one execution of a Group key's function: in flight until done is
+// closed, then a cache entry if it succeeded.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Group is a memoizing per-key singleflight: the first Do for a key runs
+// the function, concurrent Dos for the same key wait for that result, and
+// successful results are cached for later callers. Distinct keys never
+// block each other — the Group's lock is held only to look up or install a
+// call, not while the function runs. Failed calls are forgotten so a later
+// Do can retry.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// NewGroup returns an empty group.
+func NewGroup[K comparable, V any]() *Group[K, V] {
+	return &Group[K, V]{calls: make(map[K]*call[V])}
+}
+
+// Do returns the cached value for key, or runs fn to produce it. Exactly
+// one caller runs fn per key per Clear generation; the rest wait.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+
+	if c.err != nil {
+		g.mu.Lock()
+		// Remove only our own entry: a Clear may have replaced the map (or
+		// a retry may already have installed a fresh call) in the meantime.
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+	}
+	return c.val, c.err
+}
+
+// Clear drops all cached and in-flight entries. Callers already waiting on
+// an in-flight call still receive its result; the next Do for any key
+// recomputes.
+func (g *Group[K, V]) Clear() {
+	g.mu.Lock()
+	g.calls = make(map[K]*call[V])
+	g.mu.Unlock()
+}
+
+// Len reports the number of cached or in-flight keys.
+func (g *Group[K, V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

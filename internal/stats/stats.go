@@ -155,6 +155,80 @@ type Point struct {
 type Series struct {
 	Name   string
 	Points []Point
+	// YErr, when non-nil, holds one 95% confidence-interval half-width per
+	// point (aligned with Points), produced by aggregating replicate runs.
+	YErr []float64
+}
+
+// ci95HalfWidth returns the normal-approximation 95% confidence-interval
+// half-width of the mean: 1.96 · s/√n (0 for fewer than two observations).
+func ci95HalfWidth(o *Online) float64 {
+	if o.N() < 2 {
+		return 0
+	}
+	return 1.96 * o.Std() / math.Sqrt(float64(o.N()))
+}
+
+// AggregateSeries reduces replicate runs of the same figure — one []Series
+// per seed, all with the same series in the same order — to a single set of
+// mean curves with 95% CI error bars. Point i of series s averages point i
+// across the runs (x is averaged too, since sample-driven grids such as CDF
+// abscissae shift with the seed); each series is truncated to the shortest
+// point count observed for it. Runs may omit trailing series; series index
+// s aggregates over the runs that have it. An empty input returns nil.
+func AggregateSeries(runs [][]Series) []Series {
+	if len(runs) == 0 {
+		return nil
+	}
+	nSeries := 0
+	for _, run := range runs {
+		if len(run) > nSeries {
+			nSeries = len(run)
+		}
+	}
+	out := make([]Series, 0, nSeries)
+	for s := 0; s < nSeries; s++ {
+		var name string
+		nPts := -1
+		for _, run := range runs {
+			if s >= len(run) {
+				continue
+			}
+			if name == "" {
+				name = run[s].Name
+			}
+			if nPts < 0 || len(run[s].Points) < nPts {
+				nPts = len(run[s].Points)
+			}
+		}
+		if nPts < 0 {
+			nPts = 0
+		}
+		agg := Series{Name: name, Points: make([]Point, nPts), YErr: make([]float64, nPts)}
+		for i := 0; i < nPts; i++ {
+			var xs, ys Online
+			for _, run := range runs {
+				if s >= len(run) {
+					continue
+				}
+				xs.Add(run[s].Points[i].X)
+				ys.Add(run[s].Points[i].Y)
+			}
+			agg.Points[i] = Point{X: xs.Mean(), Y: ys.Mean()}
+			agg.YErr[i] = ci95HalfWidth(&ys)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// MeanCI reduces replicate observations to (mean, 95% CI half-width).
+func MeanCI(xs []float64) (mean, ci float64) {
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	return o.Mean(), ci95HalfWidth(&o)
 }
 
 // TimeBins accumulates per-bin sums over simulation time: used for the

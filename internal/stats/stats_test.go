@@ -314,3 +314,51 @@ func TestOnlineStd(t *testing.T) {
 		t.Fatalf("std = %v", o.Std())
 	}
 }
+
+func TestAggregateSeries(t *testing.T) {
+	runs := [][]Series{
+		{{Name: "SCDA", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 20}}}},
+		{{Name: "SCDA", Points: []Point{{X: 1, Y: 14}, {X: 2, Y: 24}}}},
+		{{Name: "SCDA", Points: []Point{{X: 1, Y: 12}, {X: 2, Y: 22}, {X: 3, Y: 30}}}},
+	}
+	agg := AggregateSeries(runs)
+	if len(agg) != 1 || agg[0].Name != "SCDA" {
+		t.Fatalf("agg = %+v", agg)
+	}
+	// truncated to the shortest run (2 points)
+	if len(agg[0].Points) != 2 || len(agg[0].YErr) != 2 {
+		t.Fatalf("points = %d, yerr = %d", len(agg[0].Points), len(agg[0].YErr))
+	}
+	if !almost(agg[0].Points[0].Y, 12, 1e-12) || !almost(agg[0].Points[1].Y, 22, 1e-12) {
+		t.Fatalf("means = %+v", agg[0].Points)
+	}
+	if !almost(agg[0].Points[0].X, 1, 1e-12) {
+		t.Fatalf("x mean = %v", agg[0].Points[0].X)
+	}
+	// 95% CI of {10,14,12}: 1.96 * 2/sqrt(3)
+	want := 1.96 * 2 / math.Sqrt(3)
+	if !almost(agg[0].YErr[0], want, 1e-12) {
+		t.Fatalf("yerr = %v, want %v", agg[0].YErr[0], want)
+	}
+	if AggregateSeries(nil) != nil {
+		t.Fatal("empty input should aggregate to nil")
+	}
+}
+
+func TestAggregateSeriesSingleRun(t *testing.T) {
+	runs := [][]Series{{{Name: "A", Points: []Point{{X: 1, Y: 5}}}}}
+	agg := AggregateSeries(runs)
+	if agg[0].Points[0].Y != 5 || agg[0].YErr[0] != 0 {
+		t.Fatalf("single-run aggregate = %+v", agg[0])
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, ci := MeanCI([]float64{10, 14, 12})
+	if !almost(mean, 12, 1e-12) || !almost(ci, 1.96*2/math.Sqrt(3), 1e-12) {
+		t.Fatalf("mean=%v ci=%v", mean, ci)
+	}
+	if _, ci := MeanCI([]float64{7}); ci != 0 {
+		t.Fatalf("single observation CI = %v", ci)
+	}
+}
