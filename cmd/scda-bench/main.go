@@ -7,6 +7,7 @@
 //	scda-bench [-scale quick|paper] [-figures fig07,fig13] [-ablations]
 //	           [-out results] [-seed 1] [-duration 30]
 //	           [-workers 0] [-reps 1]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // At -scale paper the suite reproduces the published parameters
 // (X=500/200 Mb/s, 100 s horizons) and takes correspondingly longer;
@@ -18,12 +19,21 @@
 // results are seed-deterministic and identical at any worker count.
 // With -reps > 1 each figure is replicated at seeds derived from -seed
 // and the CSV series carry mean ± 95% CI error bars in a yerr column.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// run (use -workers 1 for a profile free of pool scheduling noise), so
+// hot-path work is measurable without editing code:
+//
+//	scda-bench -scale quick -workers 1 -cpuprofile cpu.pprof
+//	go tool pprof -top cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -33,8 +43,35 @@ import (
 	"repro/internal/runner"
 )
 
+// memProfilePath is set from -memprofile so flushProfiles can write the
+// heap profile on both the normal and the fail exit path.
+var memProfilePath string
+
+// flushProfiles finalizes any requested profiles. os.Exit skips defers, so
+// fail() calls this explicitly; a failed run still leaves a parseable
+// (partial) CPU profile and a heap profile. No-op when profiling is off.
+func flushProfiles() {
+	pprof.StopCPUProfile()
+	if memProfilePath == "" {
+		return
+	}
+	path := memProfilePath
+	memProfilePath = "" // write at most once
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scda-bench: creating mem profile: %v\n", err)
+		return
+	}
+	runtime.GC() // up-to-date live-heap statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "scda-bench: writing mem profile: %v\n", err)
+	}
+	f.Close()
+}
+
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "scda-bench: "+format+"\n", args...)
+	flushProfiles()
 	os.Exit(1)
 }
 
@@ -48,7 +85,21 @@ func main() {
 	duration := flag.Float64("duration", 0, "override simulated horizon in seconds")
 	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS, 1 = serial)")
 	reps := flag.Int("reps", 1, "replicate seeds per figure; >1 adds 95% CI error bars")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("creating cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("starting cpu profile: %v", err)
+		}
+	}
+	memProfilePath = *memprofile
+	defer flushProfiles()
 
 	var sc experiments.Scale
 	switch *scale {

@@ -1,0 +1,50 @@
+package flowsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// benchWorkload builds n flows with 3-hop paths drawn from a pool of links
+// by a fixed LCG, so the workload is identical across runs and across
+// solver implementations.
+func benchWorkload(n int) ([]*Flow, []float64) {
+	nLinks := n/2 + 4
+	caps := make([]float64, nLinks)
+	for i := range caps {
+		caps[i] = 1e9
+	}
+	state := uint64(12345)
+	next := func(m int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(m))
+	}
+	flows := make([]*Flow, n)
+	for i := range flows {
+		path := []topology.LinkID{
+			topology.LinkID(next(nLinks)),
+			topology.LinkID(next(nLinks)),
+			topology.LinkID(next(nLinks)),
+		}
+		flows[i] = &Flow{ID: int64(i), Path: path, Size: 1e6, Weight: 1}
+	}
+	return flows, caps
+}
+
+// BenchmarkMaxMinRates measures one full progressive-filling recomputation,
+// the operation the fluid simulator performs on every flow arrival and
+// departure.
+func BenchmarkMaxMinRates(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			flows, caps := benchWorkload(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MaxMinRates(flows, caps)
+			}
+		})
+	}
+}

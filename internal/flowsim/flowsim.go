@@ -10,12 +10,20 @@
 //  2. Scale: fluid simulation is orders of magnitude faster than
 //     packet-level simulation, enabling large-n sweeps of placement
 //     policies where packet dynamics don't matter.
+//
+// The solver is allocation-free in steady state: all per-solve scratch
+// (residual capacities, weight sums, the frozen-flow bitset, the
+// candidate-link list) lives in a Solver that is reused across events.
+// Links are stamped with a solve epoch so only the links actually touched
+// by active flows are reset between solves — a solve over k flows with
+// h-hop paths costs O(k·h·rounds) regardless of graph size.
 package flowsim
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/topology"
 )
@@ -36,59 +44,112 @@ type Flow struct {
 	done bool
 }
 
-// MaxMinRates computes weighted max-min fair rates by progressive filling:
-// repeatedly find the most constrained link, freeze its unfrozen flows at
-// the equal (weighted) share, subtract, repeat. capacities maps directed
-// links to bits/sec. The result assigns every active flow a rate.
-func MaxMinRates(flows []*Flow, capacities []float64) {
-	type linkAgg struct {
-		cap    float64
-		weight float64 // sum of unfrozen flow weights
+// Solver holds the reusable scratch state for progressive filling. A
+// Solver may be reused across solves of any size (scratch grows to the
+// high-water mark) but must not be shared between concurrent goroutines;
+// use one Solver per Simulator, or MaxMinRates which draws from a pool.
+type Solver struct {
+	epoch  uint64
+	stamp  []uint64  // per-link: epoch when last touched
+	cap    []float64 // per-link residual capacity (valid when stamped)
+	weight []float64 // per-link sum of unfrozen flow weights
+	cand   []int32   // candidate constrained links (weight still > 0)
+	frozen []uint64  // bitset over flow positions
+}
+
+// NewSolver returns a solver pre-sized for a graph with nLinks links.
+func NewSolver(nLinks int) *Solver {
+	sv := &Solver{}
+	sv.ensure(nLinks, 0)
+	return sv
+}
+
+func (sv *Solver) ensure(nLinks, nFlows int) {
+	if len(sv.stamp) < nLinks {
+		// fresh zeroed stamps are fine: epoch is always ≥ 1 inside solve,
+		// so unstamped entries read as untouched
+		sv.stamp = make([]uint64, nLinks)
+		sv.cap = make([]float64, nLinks)
+		sv.weight = make([]float64, nLinks)
 	}
-	links := make(map[topology.LinkID]*linkAgg)
+	nb := (nFlows + 63) / 64
+	if len(sv.frozen) < nb {
+		sv.frozen = make([]uint64, nb)
+	}
+}
+
+// Solve computes weighted max-min fair rates for the active (non-done)
+// flows by progressive filling: repeatedly find the most constrained link,
+// freeze its unfrozen flows at the equal (weighted) share, subtract,
+// repeat. capacities maps directed links (indexed by LinkID) to bits/sec.
+// Every active flow is assigned a rate; flows that traverse only
+// unconstrained links keep rate 0, exactly as the map-based implementation
+// did.
+func (sv *Solver) Solve(flows []*Flow, capacities []float64) {
+	sv.solve(flows, capacities, 0, nil)
+}
+
+// solve optionally maintains the earliest completion time among the flows
+// it freezes (now + Size/Rate), sharpening the separate O(active)
+// post-solve scan the simulator used to do into the filling loop itself —
+// a persistent cross-event index is impossible here because every
+// arrival/departure reassigns every rate.
+func (sv *Solver) solve(flows []*Flow, capacities []float64, now float64, nextDone *float64) {
+	sv.ensure(len(capacities), len(flows))
+	sv.epoch++
+	epoch := sv.epoch
+	// Candidate list: links that can still be a bottleneck, seeded with
+	// each link on first touch. Each filling round scans only this list
+	// (compacting out links whose demand has been fully frozen away)
+	// instead of every link in the graph.
+	cand := sv.cand[:0]
+	remaining := 0
 	for _, f := range flows {
 		if f.done {
 			continue
 		}
+		remaining++
 		f.Rate = 0
 		for _, l := range f.Path {
-			la, ok := links[l]
-			if !ok {
-				la = &linkAgg{cap: capacities[l]}
-				links[l] = la
+			if sv.stamp[l] != epoch {
+				sv.stamp[l] = epoch
+				sv.cap[l] = capacities[l]
+				sv.weight[l] = 0
+				cand = append(cand, int32(l))
 			}
-			la.weight += f.Weight
+			sv.weight[l] += f.Weight
 		}
 	}
-	frozen := make(map[int64]bool)
-	remaining := 0
-	for _, f := range flows {
-		if !f.done {
-			remaining++
-		}
+	nb := (len(flows) + 63) / 64
+	frozen := sv.frozen[:nb]
+	for i := range frozen {
+		frozen[i] = 0
 	}
 	for remaining > 0 {
 		// most constrained link: min cap/weight among links with demand
 		minShare := math.Inf(1)
-		for _, la := range links {
-			if la.weight > 0 {
-				if s := la.cap / la.weight; s < minShare {
-					minShare = s
-				}
+		live := cand[:0]
+		for _, li := range cand {
+			if sv.weight[li] <= 0 {
+				continue
+			}
+			live = append(live, li)
+			if s := sv.cap[li] / sv.weight[li]; s < minShare {
+				minShare = s
 			}
 		}
+		cand = live
 		if math.IsInf(minShare, 1) {
 			break // leftover flows traverse only unconstrained links
 		}
 		// freeze flows on saturated links at weight×share
-		for _, f := range flows {
-			if f.done || frozen[f.ID] {
+		for fi, f := range flows {
+			if f.done || frozen[fi>>6]&(1<<(fi&63)) != 0 {
 				continue
 			}
 			saturated := false
 			for _, l := range f.Path {
-				la := links[l]
-				if la.weight > 0 && la.cap/la.weight <= minShare*(1+1e-12) {
+				if sv.weight[l] > 0 && sv.cap[l]/sv.weight[l] <= minShare*(1+1e-12) {
 					saturated = true
 					break
 				}
@@ -97,18 +158,38 @@ func MaxMinRates(flows []*Flow, capacities []float64) {
 				continue
 			}
 			f.Rate = f.Weight * minShare
-			frozen[f.ID] = true
+			frozen[fi>>6] |= 1 << (fi & 63)
 			remaining--
-			for _, l := range f.Path {
-				la := links[l]
-				la.cap -= f.Rate
-				if la.cap < 0 {
-					la.cap = 0
+			if nextDone != nil && f.Rate > 0 {
+				if t := now + f.Size/f.Rate; t < *nextDone {
+					*nextDone = t
 				}
-				la.weight -= f.Weight
+			}
+			for _, l := range f.Path {
+				sv.cap[l] -= f.Rate
+				if sv.cap[l] < 0 {
+					sv.cap[l] = 0
+				}
+				sv.weight[l] -= f.Weight
 			}
 		}
 	}
+	sv.cand = cand
+}
+
+// solverPool backs the package-level MaxMinRates so one-shot callers (the
+// oracle comparisons in the ablations) stay cheap without owning a Solver.
+// Solver scratch is epoch-stamped, so a pooled solver's leftover state
+// cannot affect results and pooling does not perturb determinism.
+var solverPool = sync.Pool{New: func() any { return &Solver{} }}
+
+// MaxMinRates computes weighted max-min fair rates for flows over the
+// given directed-link capacities. Callers with a hot loop should hold a
+// Solver (or use Simulator, which owns one) instead.
+func MaxMinRates(flows []*Flow, capacities []float64) {
+	sv := solverPool.Get().(*Solver)
+	sv.Solve(flows, capacities)
+	solverPool.Put(sv)
 }
 
 // Simulator advances fluid flows through arrivals and completions.
@@ -118,6 +199,7 @@ type Simulator struct {
 	now        float64
 	active     []*Flow
 	pending    *arrivalHeap
+	solver     *Solver
 	// Completed collects finished flows in completion order.
 	Completed []*Flow
 }
@@ -141,7 +223,7 @@ func New(g *topology.Graph) *Simulator {
 	for i, l := range g.Links {
 		caps[i] = l.Capacity
 	}
-	return &Simulator{g: g, capacities: caps, pending: &arrivalHeap{}}
+	return &Simulator{g: g, capacities: caps, pending: &arrivalHeap{}, solver: NewSolver(len(g.Links))}
 }
 
 // Now returns the fluid clock.
@@ -175,23 +257,20 @@ func (s *Simulator) Run(horizon float64) {
 		}
 		if len(s.active) == 0 {
 			if math.IsInf(nextArr, 1) || nextArr > horizon {
-				s.now = math.Min(horizon, math.Max(s.now, horizon))
+				// idle until the horizon (never move the clock backwards)
+				if horizon > s.now {
+					s.now = horizon
+				}
 				return
 			}
 			s.now = nextArr
 			s.admitArrivals()
 			continue
 		}
-		MaxMinRates(s.active, s.capacities)
-		// earliest completion among active flows
+		// recompute rates; the earliest completion among the newly frozen
+		// flows falls out of the same filling pass
 		nextDone := math.Inf(1)
-		for _, f := range s.active {
-			if f.Rate > 0 {
-				if t := s.now + f.Size/f.Rate; t < nextDone {
-					nextDone = t
-				}
-			}
-		}
+		s.solver.solve(s.active, s.capacities, s.now, &nextDone)
 		next := math.Min(nextArr, nextDone)
 		if next > horizon {
 			s.drainTo(horizon)

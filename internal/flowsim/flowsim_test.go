@@ -177,6 +177,68 @@ func TestSimulatorValidation(t *testing.T) {
 	}
 }
 
+func TestRunAdvancesToHorizonWhenIdle(t *testing.T) {
+	// regression for the former dead expression
+	// s.now = math.Min(horizon, math.Max(s.now, horizon)): with no active
+	// flows and no pending arrivals the clock must advance to the horizon,
+	// and repeated Run calls must never move it backwards.
+	g, path := chain(1e6)
+	s := New(g)
+	s.Run(50)
+	if s.Now() != 50 {
+		t.Fatalf("idle Run(50) left clock at %v, want 50", s.Now())
+	}
+	s.Run(10) // smaller horizon: clock must not go backwards
+	if s.Now() != 50 {
+		t.Fatalf("Run(10) after Run(50) moved clock to %v", s.Now())
+	}
+	// pending arrival beyond the horizon: clock stops at the horizon and
+	// the flow is neither lost nor started
+	if err := s.AddFlow(200, &Flow{ID: 1, Path: path, Size: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	if s.Now() != 100 {
+		t.Fatalf("Run(100) with arrival at 200 left clock at %v", s.Now())
+	}
+	if s.Active() != 0 || len(s.Completed) != 0 {
+		t.Fatal("arrival beyond horizon was admitted early")
+	}
+	s.Run(300)
+	if len(s.Completed) != 1 {
+		t.Fatal("flow never completed after horizon passed its arrival")
+	}
+}
+
+func TestSolverMatchesOneShot(t *testing.T) {
+	// a reused (warm, dirty) Solver must produce exactly the rates of a
+	// fresh computation
+	flows, caps := benchWorkload(300)
+	sv := NewSolver(len(caps))
+	sv.Solve(flows, caps) // dirty the scratch
+	sv.Solve(flows, caps)
+	warm := make([]float64, len(flows))
+	for i, f := range flows {
+		warm[i] = f.Rate
+	}
+	fresh := NewSolver(len(caps))
+	fresh.Solve(flows, caps)
+	for i, f := range flows {
+		if f.Rate != warm[i] {
+			t.Fatalf("flow %d: warm solver rate %v != fresh rate %v", i, warm[i], f.Rate)
+		}
+	}
+}
+
+func TestSolveIsAllocationFree(t *testing.T) {
+	flows, caps := benchWorkload(200)
+	sv := NewSolver(len(caps))
+	sv.Solve(flows, caps) // warm the scratch
+	if allocs := testing.AllocsPerRun(100, func() { sv.Solve(flows, caps) }); allocs != 0 {
+		t.Fatalf("warm Solve allocates %v allocs/op, want 0", allocs)
+	}
+}
+
 func TestFluidOnTreeTopology(t *testing.T) {
 	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
 	if err != nil {

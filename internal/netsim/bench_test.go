@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// BenchmarkPacketForwarding measures the per-packet cost of the full
+// store-and-forward path (enqueue, transmit, propagate, deliver) with a
+// closed loop keeping 8 packets in flight: each delivery injects the next
+// packet, so the port never idles and every iteration is one end-to-end
+// packet.
+func BenchmarkPacketForwarding(b *testing.B) {
+	bench := func(b *testing.B, disc QueueDiscipline) {
+		s := sim.New()
+		g := topology.NewGraph()
+		src := g.AddNode(topology.Host, "src", 0)
+		dst := g.AddNode(topology.Host, "dst", 0)
+		g.AddDuplex(src, dst, 1e9, 1e-4, 1)
+		n := New(s, g, Config{QueueBytes: 1 << 20, Discipline: disc})
+
+		const inflight = 8
+		delivered := 0
+		seq := int64(0)
+		inject := func() {
+			p := n.NewPacket()
+			p.Flow = FlowID(seq % 4)
+			p.Src = src
+			p.Dst = dst
+			p.Seq = seq
+			p.Size = 1500
+			p.Hash = uint64(seq % 4)
+			seq++
+			n.Send(p)
+		}
+		n.Listen(dst, func(p *Packet) {
+			delivered++
+			if delivered+inflight-1 < b.N {
+				inject()
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < inflight && i < b.N; i++ {
+			inject()
+		}
+		s.Run()
+	}
+	b.Run("fifo", func(b *testing.B) { bench(b, FIFO) })
+	b.Run("sjf", func(b *testing.B) { bench(b, SmallestFlowFirst) })
+}

@@ -15,6 +15,13 @@
 // simulated switch interfaces, mirroring how the paper's RMs and RAs "get
 // the values of Q from the local switch ... as all switches maintain the
 // queue length in each of their interfaces".
+//
+// The forwarding path is allocation-free in steady state: Packet structs
+// are pooled on a per-Network free list (deterministic LIFO, not
+// sync.Pool, so reuse order — and therefore memory layout — is identical
+// across same-seed runs), per-port queues are ring buffers, and the two
+// simulator events per hop (transmit-complete, far-end arrival) reuse two
+// long-lived callbacks via sim.AfterArg instead of capturing closures.
 package netsim
 
 import (
@@ -25,6 +32,13 @@ import (
 )
 
 // Packet is a simulated datagram.
+//
+// Ownership: a packet handed to Network.Send belongs to the network until
+// it is dropped or delivered; after the destination handler (and the
+// OnDeliver hook) return, the network zeroes and recycles it. Handlers
+// must not retain the pointer past their return. Allocate with NewPacket
+// to draw from the pool; a literal &Packet{} also works (it simply joins
+// the pool when recycled).
 type Packet struct {
 	Flow    FlowID
 	Src     topology.NodeID
@@ -36,6 +50,8 @@ type Packet struct {
 	Hash    uint64
 	SentAt  sim.Time // stamped at first transmission by the sender
 	Payload any      // transport-specific extra state
+
+	hop topology.NodeID // next node while in flight on a link
 }
 
 // FlowID identifies a transport flow end-to-end.
@@ -73,14 +89,82 @@ type LinkStats struct {
 	Packets int64
 }
 
+// pktRef is one ring-buffer entry: the packet plus its flow's dense index
+// in the port's counter table (SJF only; -1 under FIFO), resolved once at
+// enqueue so the pick-next scan never touches a map.
+type pktRef struct {
+	pkt  *Packet
+	fidx int32
+}
+
+// ring is a power-of-two circular queue of pktRef. It supports O(1) push
+// and head-pop plus positional removal (shifting the shorter side) for the
+// SJF discipline.
+type ring struct {
+	buf  []pktRef
+	head int
+	n    int
+}
+
+func (r *ring) at(i int) *pktRef { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *ring) push(v pktRef) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	*r.at(r.n) = v
+	r.n++
+}
+
+func (r *ring) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 64
+	}
+	nb := make([]pktRef, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = *r.at(i)
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// removeAt deletes and returns entry i, shifting whichever side is
+// shorter.
+func (r *ring) removeAt(i int) pktRef {
+	v := *r.at(i)
+	if i < r.n-1-i {
+		for j := i; j > 0; j-- {
+			*r.at(j) = *r.at(j - 1)
+		}
+		*r.at(0) = pktRef{}
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+	} else {
+		for j := i; j < r.n-1; j++ {
+			*r.at(j) = *r.at(j + 1)
+		}
+		*r.at(r.n - 1) = pktRef{}
+	}
+	r.n--
+	return v
+}
+
 type linkState struct {
-	link      topology.Link
-	queue     []*Packet
-	queuedB   int
-	limitB    int
-	busy      bool
-	stats     LinkStats
-	flowCount map[FlowID]int64 // cumulative packets per flow (SJF discipline)
+	link    topology.Link
+	q       ring
+	queuedB int
+	limitB  int
+	busy    bool
+	txSize  int // bytes of the packet currently on the wire
+	stats   LinkStats
+
+	// SJF state: flows get a dense per-port index on first arrival;
+	// counts is the cumulative packet count per dense index. Replaces a
+	// map[FlowID]int64 that was rehashed on every enqueue and probed
+	// O(queue) times per transmission.
+	sjf     bool
+	flowIdx map[FlowID]int32
+	counts  []int64
 }
 
 // Config tunes the network simulation.
@@ -112,13 +196,24 @@ type Network struct {
 	links    []*linkState
 	handlers []Handler
 
+	// free is the packet pool: a plain LIFO slice so that reuse order is
+	// deterministic (sync.Pool's per-P caches would make packet identity
+	// depend on scheduling).
+	free []*Packet
+
+	// txDoneFn and arriveFn are the two per-hop event callbacks, created
+	// once so the hot path schedules events without allocating closures.
+	txDoneFn func(any)
+	arriveFn func(any)
+
 	// TotalDrops counts drops across all ports.
 	TotalDrops int64
 	// Delivered counts packets handed to host handlers.
 	Delivered int64
 
 	// OnDeliver, when set, observes every packet handed to a host
-	// handler (experiment instrumentation).
+	// handler (experiment instrumentation). The packet is recycled after
+	// the hook returns; do not retain it.
 	OnDeliver func(*Packet)
 }
 
@@ -135,14 +230,48 @@ func New(s *sim.Simulator, g *topology.Graph, cfg Config) *Network {
 		links:    make([]*linkState, len(g.Links)),
 		handlers: make([]Handler, len(g.Nodes)),
 	}
+	states := make([]linkState, len(g.Links)) // one backing array, cache-friendly
 	for i, l := range g.Links {
-		ls := &linkState{link: l, limitB: cfg.QueueBytes}
+		ls := &states[i]
+		ls.link = l
+		ls.limitB = cfg.QueueBytes
 		if cfg.Discipline == SmallestFlowFirst {
-			ls.flowCount = make(map[FlowID]int64)
+			ls.sjf = true
+			ls.flowIdx = make(map[FlowID]int32)
 		}
 		n.links[i] = ls
 	}
+	n.txDoneFn = func(arg any) {
+		ls := arg.(*linkState)
+		ls.busy = false
+		ls.stats.SentBytes += int64(ls.txSize)
+		if ls.q.n > 0 {
+			n.startTx(ls)
+		}
+	}
+	n.arriveFn = func(arg any) {
+		pkt := arg.(*Packet)
+		n.forward(pkt.hop, pkt)
+	}
 	return n
+}
+
+// NewPacket returns a zeroed packet, reusing one the network has finished
+// with when possible.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.free); k > 0 {
+		p := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// recycle zeroes a finished packet and returns it to the pool.
+func (n *Network) recycle(p *Packet) {
+	*p = Packet{}
+	n.free = append(n.free, p)
 }
 
 // Listen registers the packet handler for a host node. A nil handler
@@ -154,6 +283,7 @@ func (n *Network) Listen(node topology.NodeID, h Handler) {
 // Send injects a packet at its source host. The packet is forwarded hop by
 // hop to pkt.Dst; delivery invokes the destination's handler. Packets to
 // unreachable destinations are dropped silently (counted in TotalDrops).
+// The network owns the packet from this point on (see Packet).
 func (n *Network) Send(pkt *Packet) {
 	if pkt.Size <= 0 {
 		panic(fmt.Sprintf("netsim: packet with size %d", pkt.Size))
@@ -169,6 +299,7 @@ func (n *Network) forward(at topology.NodeID, pkt *Packet) {
 	lid, err := n.Routes.NextLink(at, pkt.Dst, pkt.Hash)
 	if err != nil {
 		n.TotalDrops++
+		n.recycle(pkt)
 		return
 	}
 	n.enqueue(n.links[lid], pkt)
@@ -182,6 +313,7 @@ func (n *Network) deliver(pkt *Packet) {
 	if h := n.handlers[pkt.Dst]; h != nil {
 		h(pkt)
 	}
+	n.recycle(pkt)
 }
 
 func (n *Network) enqueue(ls *linkState, pkt *Packet) {
@@ -190,28 +322,39 @@ func (n *Network) enqueue(ls *linkState, pkt *Packet) {
 	if ls.queuedB+pkt.Size > ls.limitB {
 		ls.stats.Drops++
 		n.TotalDrops++
+		n.recycle(pkt)
 		return
 	}
-	ls.queue = append(ls.queue, pkt)
+	fidx := int32(-1)
+	if ls.sjf {
+		var ok bool
+		fidx, ok = ls.flowIdx[pkt.Flow]
+		if !ok {
+			fidx = int32(len(ls.counts))
+			ls.flowIdx[pkt.Flow] = fidx
+			ls.counts = append(ls.counts, 0)
+		}
+		ls.counts[fidx]++
+	}
+	ls.q.push(pktRef{pkt: pkt, fidx: fidx})
 	ls.queuedB += pkt.Size
 	ls.stats.QueuedBytes = ls.queuedB
-	if ls.flowCount != nil {
-		ls.flowCount[pkt.Flow]++
-	}
 	if !ls.busy {
 		n.startTx(ls)
 	}
 }
 
-// pickNext chooses which queued packet to transmit next per the discipline.
+// pickNext chooses which queued packet to transmit next per the
+// discipline: head-of-line for FIFO, the earliest-queued packet of the
+// flow with the fewest cumulative packets through this port for SJF.
 func (ls *linkState) pickNext() int {
-	if ls.flowCount == nil || len(ls.queue) == 1 {
+	if !ls.sjf || ls.q.n == 1 {
 		return 0
 	}
 	best := 0
-	bestCount := ls.flowCount[ls.queue[0].Flow]
-	for i := 1; i < len(ls.queue); i++ {
-		if c := ls.flowCount[ls.queue[i].Flow]; c < bestCount {
+	bestCount := ls.counts[ls.q.at(0).fidx]
+	for i := 1; i < ls.q.n; i++ {
+		if c := ls.counts[ls.q.at(i).fidx]; c < bestCount {
 			best, bestCount = i, c
 		}
 	}
@@ -219,28 +362,19 @@ func (ls *linkState) pickNext() int {
 }
 
 func (n *Network) startTx(ls *linkState) {
-	i := ls.pickNext()
-	pkt := ls.queue[i]
-	copy(ls.queue[i:], ls.queue[i+1:])
-	ls.queue[len(ls.queue)-1] = nil
-	ls.queue = ls.queue[:len(ls.queue)-1]
+	ref := ls.q.removeAt(ls.pickNext())
+	pkt := ref.pkt
 	ls.queuedB -= pkt.Size
 	ls.stats.QueuedBytes = ls.queuedB
 	ls.busy = true
+	ls.txSize = pkt.Size
+	pkt.hop = ls.link.To
 
 	txTime := float64(pkt.Size*8) / ls.link.Capacity
 	// transmission complete: free the port, chain the next packet
-	n.Sim.After(txTime, func() {
-		ls.busy = false
-		ls.stats.SentBytes += int64(pkt.Size)
-		if len(ls.queue) > 0 {
-			n.startTx(ls)
-		}
-	})
+	n.Sim.AfterArg(txTime, n.txDoneFn, ls)
 	// arrival at the far end after propagation
-	n.Sim.After(txTime+ls.link.Delay, func() {
-		n.forward(ls.link.To, pkt)
-	})
+	n.Sim.AfterArg(txTime+ls.link.Delay, n.arriveFn, pkt)
 }
 
 // SetCapacity changes a link's transmission capacity at runtime — the

@@ -238,26 +238,6 @@ func TestLinkUtilization(t *testing.T) {
 	}
 }
 
-func BenchmarkPacketForwarding(b *testing.B) {
-	s := sim.New()
-	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
-	if err != nil {
-		b.Fatal(err)
-	}
-	n := New(s, tt.Graph, DefaultConfig())
-	dst := tt.Servers[0]
-	n.Listen(dst, func(p *Packet) {})
-	src := tt.Clients[0]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n.Send(&Packet{Flow: FlowID(i % 8), Src: src, Dst: dst, Seq: int64(i), Size: 1500, Hash: uint64(i % 8)})
-		if i%64 == 63 {
-			s.Run()
-		}
-	}
-	s.Run()
-}
-
 func TestSetCapacitySpeedsDrain(t *testing.T) {
 	s := sim.New()
 	g, a, b := pair(1e6, 0)

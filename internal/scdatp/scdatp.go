@@ -87,10 +87,12 @@ type Flow struct {
 
 	// pacing state
 	nextSend sim.Time
-	sendEv   *sim.Event
+	sendEv   sim.Event
+	sendFire func()
 
-	ticker *sim.Ticker
-	timer  *sim.Event
+	ticker      *sim.Ticker
+	timer       sim.Event
+	onTimeoutFn func()
 
 	srcStack *transport.Stack
 	dstStack *transport.Stack
@@ -131,6 +133,8 @@ func Start(s *sim.Simulator, net *netsim.Network, rates RateProvider, srcStack, 
 	f.srtt = cfg.InitialRTT
 	f.rcvd = make(map[int64]bool)
 	f.nextSend = s.Now()
+	f.sendFire = f.firePaced // one closure per flow, not per paced send
+	f.onTimeoutFn = f.onTimeout
 	f.srcStack, f.dstStack = srcStack, dstStack
 	srcStack.Bind(f.ID, &senderEP{f})
 	dstStack.Bind(f.ID, &receiverEP{f})
@@ -192,7 +196,7 @@ func (f *Flow) flight() int64 { return f.nextSeq - f.highAck }
 
 // pump schedules the next paced transmission if the window allows one.
 func (f *Flow) pump() {
-	if f.done || f.sendEv != nil {
+	if f.done || f.sendEv.Pending() {
 		return
 	}
 	if f.nextSeq >= f.segs || f.flight() >= f.window {
@@ -202,39 +206,41 @@ func (f *Flow) pump() {
 	if delay < 0 {
 		delay = 0
 	}
-	f.sendEv = f.s.After(delay, func() {
-		f.sendEv = nil
-		if f.done || f.nextSeq >= f.segs || f.flight() >= f.window {
-			return
-		}
-		seq := f.nextSeq
-		f.nextSeq++
-		f.sendSeg(seq, false)
-		// pace: next transmission one serialization interval later at
-		// the allocated rate
-		gap := float64(transport.SegmentWire(f.Size, seq)*8) / f.rate()
-		now := f.s.Now()
-		if f.nextSend < now {
-			f.nextSend = now
-		}
-		f.nextSend += gap
-		f.pump()
-	})
+	f.sendEv = f.s.After(delay, f.sendFire)
+}
+
+// firePaced transmits one segment at its paced slot, then re-arms pump.
+func (f *Flow) firePaced() {
+	if f.done || f.nextSeq >= f.segs || f.flight() >= f.window {
+		return
+	}
+	seq := f.nextSeq
+	f.nextSeq++
+	f.sendSeg(seq, false)
+	// pace: next transmission one serialization interval later at
+	// the allocated rate
+	gap := float64(transport.SegmentWire(f.Size, seq)*8) / f.rate()
+	now := f.s.Now()
+	if f.nextSend < now {
+		f.nextSend = now
+	}
+	f.nextSend += gap
+	f.pump()
 }
 
 func (f *Flow) sendSeg(seq int64, retransmit bool) {
 	if retransmit {
 		f.Retransmits++
 	}
-	f.net.Send(&netsim.Packet{
-		Flow:   f.ID,
-		Src:    f.Src,
-		Dst:    f.Dst,
-		Seq:    seq,
-		Size:   transport.SegmentWire(f.Size, seq),
-		Hash:   f.hash,
-		SentAt: f.s.Now(),
-	})
+	p := f.net.NewPacket()
+	p.Flow = f.ID
+	p.Src = f.Src
+	p.Dst = f.Dst
+	p.Seq = seq
+	p.Size = transport.SegmentWire(f.Size, seq)
+	p.Hash = f.hash
+	p.SentAt = f.s.Now()
+	f.net.Send(p)
 }
 
 func (f *Flow) onData(p *netsim.Packet) {
@@ -248,16 +254,16 @@ func (f *Flow) onData(p *netsim.Packet) {
 	// echo the data packet's send timestamp so the sender can measure RTT
 	// from the ACK ("the receiving cloud server can obtain the RTT from
 	// the time stamp values in the headers", section VIII-A step 8)
-	f.net.Send(&netsim.Packet{
-		Flow:   f.ID,
-		Src:    f.Dst,
-		Dst:    f.Src,
-		Ack:    true,
-		AckSeq: f.cumRcvd,
-		Size:   transport.AckBytes,
-		Hash:   f.hash,
-		SentAt: p.SentAt,
-	})
+	ack := f.net.NewPacket()
+	ack.Flow = f.ID
+	ack.Src = f.Dst
+	ack.Dst = f.Src
+	ack.Ack = true
+	ack.AckSeq = f.cumRcvd
+	ack.Size = transport.AckBytes
+	ack.Hash = f.hash
+	ack.SentAt = p.SentAt
+	f.net.Send(ack)
 }
 
 func (f *Flow) onAck(p *netsim.Packet) {
@@ -293,13 +299,11 @@ func (f *Flow) rto() float64 {
 }
 
 func (f *Flow) armTimer() {
-	if f.timer != nil {
-		f.timer.Cancel()
-	}
+	f.timer.Cancel()
 	if f.done {
 		return
 	}
-	f.timer = f.s.After(f.rto(), f.onTimeout)
+	f.timer = f.s.After(f.rto(), f.onTimeoutFn)
 }
 
 func (f *Flow) onTimeout() {
@@ -322,13 +326,8 @@ func (f *Flow) complete() {
 	}
 	f.done = true
 	f.ticker.Cancel()
-	if f.timer != nil {
-		f.timer.Cancel()
-	}
-	if f.sendEv != nil {
-		f.sendEv.Cancel()
-		f.sendEv = nil
-	}
+	f.timer.Cancel()
+	f.sendEv.Cancel()
 	f.srcStack.Unbind(f.ID)
 	f.dstStack.Unbind(f.ID)
 	if f.OnComplete != nil {

@@ -1,0 +1,67 @@
+package sim
+
+import "testing"
+
+// TestScheduleFireIsAllocationFree pins the event-arena property: after
+// warm-up, schedule→fire→recycle cycles (with and without AtArg payloads,
+// including a cancel) do not allocate.
+func TestScheduleFireIsAllocationFree(t *testing.T) {
+	s := New()
+	fn := func() {}
+	fnArg := func(any) {}
+	arg := &struct{ x int }{}
+	cycle := func() {
+		s.After(1, fn)
+		s.AfterArg(2, fnArg, arg)
+		e := s.After(3, fn)
+		e.Cancel()
+		s.Run()
+	}
+	cycle() // warm the arena, heap and free list
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("warm schedule/fire/cancel allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestStaleHandleCannotTouchRecycledSlot verifies the generation guard: a
+// handle kept across its event's firing must not cancel (or report
+// pending for) the unrelated event that later reuses the slot.
+func TestStaleHandleCannotTouchRecycledSlot(t *testing.T) {
+	s := New()
+	stale := s.At(1, func() {})
+	s.Run() // fires; slot recycled
+	if stale.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	fired := false
+	fresh := s.At(2, func() { fired = true }) // reuses the recycled slot
+	stale.Cancel()                            // must be a no-op
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel killed an unrelated event in the reused slot")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("event in reused slot did not fire")
+	}
+}
+
+// TestCancelRemovesFromHeap verifies eager cancellation: cancelled events
+// leave the queue immediately instead of lingering until their deadline,
+// so timer-churn workloads (cancel/re-arm per ACK) keep the heap small.
+func TestCancelRemovesFromHeap(t *testing.T) {
+	s := New()
+	var evs []Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, s.At(Time(i+1), func() {}))
+	}
+	for _, e := range evs[:50] {
+		e.Cancel()
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d after cancelling 50 of 100, want 50", s.Len())
+	}
+	s.Run()
+	if s.Processed != 50 {
+		t.Fatalf("Processed = %d, want 50", s.Processed)
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEventLoop measures the schedule→fire cycle of the event core.
+// depth is the number of events outstanding at any moment — depth=1 is the
+// pure scheduling overhead, depth=1024 exercises the heap at the occupancy
+// a loaded packet simulation sees.
+func BenchmarkEventLoop(b *testing.B) {
+	for _, depth := range []int{1, 1024} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s := New()
+			fired := 0
+			var tick func()
+			tick = func() {
+				fired++
+				if fired+depth-1 < b.N {
+					s.After(1, tick)
+				}
+			}
+			for i := 0; i < depth && i < b.N; i++ {
+				s.After(1, tick)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			s.Run()
+		})
+	}
+}

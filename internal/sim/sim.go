@@ -6,14 +6,21 @@
 // The engine is single-threaded by design. Datacenter simulations of the
 // scale used in the SCDA paper (thousands of flows, millions of packet
 // events) are dominated by heap operations and cache behaviour, not by
-// parallelism; a single goroutine with a binary heap is both faster and
+// parallelism; a single goroutine with an index heap is both faster and
 // easier to make deterministic than a parallel event queue. Parallelism in
 // this repository lives one level up: independent experiment runs (one per
 // figure, one per seed) execute concurrently.
+//
+// The event queue is allocation-free in steady state: event state lives in
+// a flat arena owned by the Simulator, recycled through a free list, and
+// ordered by a 4-ary heap of arena indices. A 4-ary heap does the same
+// comparisons-per-level work as a binary heap but halves the tree depth,
+// which matters when every sift touches the arena; events with equal time
+// fire in the order they were scheduled (FIFO tie-break via sequence
+// numbers), which keeps runs deterministic.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -22,65 +29,71 @@ import (
 // in the paper's units (rates in bits/sec, intervals in sec) direct.
 type Time = float64
 
-// Event is a scheduled callback. Events with equal time fire in the order
-// they were scheduled (FIFO tie-break via sequence numbers), which keeps
-// runs deterministic.
+// eventSlot is the arena-resident state of one scheduled callback. Slots
+// are recycled: gen increments on every reuse so stale Event handles can
+// detect that their slot now belongs to a different logical event.
+type eventSlot struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	fnArg func(any)
+	arg   any
+	gen   uint32
+	idx   int32 // position in the heap, -1 when not queued
+}
+
+// Event is a cancellable handle to a scheduled callback. It is a small
+// value (no heap allocation per schedule); the zero Event is valid and
+// behaves like an event that already fired: Cancel is a no-op and Pending
+// reports false. Handles stay safe after their event fires or is
+// cancelled — the underlying slot's generation changes on reuse, so a
+// stale handle can never affect a later event.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	idx  int // heap index, -1 when not queued
-	dead bool
+	s   *Simulator
+	id  int32
+	gen uint32
 }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
 // already fired or been cancelled is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+func (e Event) Cancel() {
+	if e.s == nil {
+		return
 	}
+	slot := &e.s.arena[e.id]
+	if slot.gen != e.gen || slot.idx < 0 {
+		return
+	}
+	e.s.remove(slot.idx)
+	e.s.recycle(e.id)
 }
 
 // Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
-
-// At returns the scheduled firing time.
-func (e *Event) At() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e Event) Pending() bool {
+	if e.s == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	slot := &e.s.arena[e.id]
+	return slot.gen == e.gen && slot.idx >= 0
 }
 
-// Simulator owns the virtual clock and the pending-event heap.
+// At returns the scheduled firing time, or NaN if the event has already
+// fired or been cancelled.
+func (e Event) At() Time {
+	if !e.Pending() {
+		return math.NaN()
+	}
+	return e.s.arena[e.id].at
+}
+
+// Simulator owns the virtual clock, the event arena and the pending-event
+// heap.
 type Simulator struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
+	arena   []eventSlot
+	heap    []int32 // 4-ary min-heap of arena indices
+	free    []int32 // recycled arena indices
 	running bool
 	stopped bool
 
@@ -97,28 +110,169 @@ func New() *Simulator {
 // Now returns the current simulation time.
 func (s *Simulator) Now() Time { return s.now }
 
-// Len returns the number of queued (possibly cancelled) events.
+// Len returns the number of queued events.
 func (s *Simulator) Len() int { return len(s.heap) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it is always a logic bug in the caller, and silently clamping would
-// corrupt causality.
-func (s *Simulator) At(t Time, fn func()) *Event {
+// alloc takes a slot from the free list (or grows the arena), stamps it
+// with t and the next FIFO sequence number, and returns its index.
+func (s *Simulator) alloc(t Time) int32 {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	var id int32
+	if k := len(s.free); k > 0 {
+		id = s.free[k-1]
+		s.free = s.free[:k-1]
+	} else {
+		s.arena = append(s.arena, eventSlot{})
+		id = int32(len(s.arena) - 1)
+	}
+	slot := &s.arena[id]
+	slot.at = t
+	slot.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, e)
-	return e
+	return id
+}
+
+// recycle returns a slot to the free list. Bumping gen invalidates every
+// outstanding handle to the slot's previous occupant.
+func (s *Simulator) recycle(id int32) {
+	slot := &s.arena[id]
+	slot.gen++
+	slot.fn = nil
+	slot.fnArg = nil
+	slot.arg = nil
+	slot.idx = -1
+	s.free = append(s.free, id)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a logic bug in the caller, and silently clamping would
+// corrupt causality.
+func (s *Simulator) At(t Time, fn func()) Event {
+	id := s.alloc(t)
+	s.arena[id].fn = fn
+	s.push(id)
+	return Event{s: s, id: id, gen: s.arena[id].gen}
+}
+
+// AtArg schedules fn(arg) to run at absolute time t. It exists so hot
+// paths (one event per packet) can reuse a single long-lived callback and
+// pass per-event state through arg instead of allocating a closure per
+// schedule; boxing a pointer into arg does not allocate.
+func (s *Simulator) AtArg(t Time, fn func(any), arg any) Event {
+	id := s.alloc(t)
+	slot := &s.arena[id]
+	slot.fnArg = fn
+	slot.arg = arg
+	s.push(id)
+	return Event{s: s, id: id, gen: slot.gen}
 }
 
 // After schedules fn to run d seconds from now.
-func (s *Simulator) After(d Time, fn func()) *Event {
+func (s *Simulator) After(d Time, fn func()) Event {
 	return s.At(s.now+d, fn)
+}
+
+// AfterArg schedules fn(arg) to run d seconds from now.
+func (s *Simulator) AfterArg(d Time, fn func(any), arg any) Event {
+	return s.AtArg(s.now+d, fn, arg)
+}
+
+// less orders heap entries by (time, sequence): FIFO among equal times.
+func (s *Simulator) less(a, b int32) bool {
+	sa, sb := &s.arena[a], &s.arena[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (s *Simulator) push(id int32) {
+	s.heap = append(s.heap, id)
+	s.siftUp(len(s.heap) - 1)
+}
+
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	id := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s.less(id, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		s.arena[h[i]].idx = int32(i)
+		i = p
+	}
+	h[i] = id
+	s.arena[id].idx = int32(i)
+}
+
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	id := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s.less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !s.less(h[m], id) {
+			break
+		}
+		h[i] = h[m]
+		s.arena[h[i]].idx = int32(i)
+		i = m
+	}
+	h[i] = id
+	s.arena[id].idx = int32(i)
+}
+
+// remove deletes the heap entry at position i (eager deletion keeps the
+// heap small under timer churn — cancel/re-arm per ACK is the common case
+// in the transports).
+func (s *Simulator) remove(i int32) {
+	h := s.heap
+	n := len(h) - 1
+	s.arena[h[i]].idx = -1
+	last := h[n]
+	s.heap = h[:n]
+	if int(i) == n {
+		return
+	}
+	s.heap[i] = last
+	s.arena[last].idx = i
+	s.siftDown(int(i))
+	s.siftUp(int(s.arena[last].idx))
+}
+
+// popMin removes and returns the earliest event's arena index.
+func (s *Simulator) popMin() int32 {
+	h := s.heap
+	top := h[0]
+	s.arena[top].idx = -1
+	n := len(h) - 1
+	last := h[n]
+	s.heap = h[:n]
+	if n > 0 {
+		s.heap[0] = last
+		s.siftDown(0)
+	}
+	return top
 }
 
 // Stop halts the run loop after the current event completes.
@@ -140,17 +294,25 @@ func (s *Simulator) RunUntil(end Time) {
 	s.stopped = false
 	defer func() { s.running = false }()
 	for len(s.heap) > 0 && !s.stopped {
-		e := s.heap[0]
-		if e.at > end {
+		top := s.heap[0]
+		slot := &s.arena[top]
+		if slot.at > end {
 			break
 		}
-		heap.Pop(&s.heap)
-		if e.dead {
-			continue
-		}
-		s.now = e.at
+		s.now = slot.at
 		s.Processed++
-		e.fn()
+		fn, fnArg, arg := slot.fn, slot.fnArg, slot.arg
+		// Pop and recycle before invoking the callback: the handle reads
+		// as not-Pending inside its own callback (matching pre-arena
+		// semantics), and the slot is immediately reusable by whatever
+		// the callback schedules.
+		s.popMin()
+		s.recycle(top)
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
 	}
 	if !s.stopped && !math.IsInf(end, 1) && s.now < end {
 		s.now = end
@@ -159,12 +321,15 @@ func (s *Simulator) RunUntil(end Time) {
 
 // Ticker invokes fn every period seconds, starting at now+period, until
 // Cancel is called. It is the building block for the RM/RA control loops
-// (one tick per control interval τ).
+// (one tick per control interval τ). The rescheduling callback is
+// allocated once at construction, so a running ticker does not allocate
+// per tick.
 type Ticker struct {
 	sim    *Simulator
 	period Time
 	fn     func()
-	ev     *Event
+	fire   func()
+	ev     Event
 	done   bool
 }
 
@@ -174,20 +339,17 @@ func (s *Simulator) NewTicker(period Time, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{sim: s, period: period, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.ev = t.sim.After(t.period, func() {
+	t.fire = func() {
 		if t.done {
 			return
 		}
 		t.fn()
 		if !t.done {
-			t.schedule()
+			t.ev = t.sim.After(t.period, t.fire)
 		}
-	})
+	}
+	t.ev = s.After(period, t.fire)
+	return t
 }
 
 // Cancel stops the ticker.

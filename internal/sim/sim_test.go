@@ -318,18 +318,3 @@ func TestLogNormalPositive(t *testing.T) {
 		}
 	}
 }
-
-func BenchmarkEventLoop(b *testing.B) {
-	s := New()
-	var next func()
-	i := 0
-	next = func() {
-		i++
-		if i < b.N {
-			s.After(1, next)
-		}
-	}
-	s.After(1, next)
-	b.ResetTimer()
-	s.Run()
-}

@@ -76,7 +76,8 @@ type Flow struct {
 	rttSentAt    sim.Time
 	rttValid     bool
 
-	timer *sim.Event
+	timer       sim.Event
+	onTimeoutFn func()
 
 	srcStack *transport.Stack
 	dstStack *transport.Stack
@@ -115,6 +116,7 @@ func Start(s *sim.Simulator, net *netsim.Network, srcStack, dstStack *transport.
 	f.rto = 1.0 // RFC 6298 initial
 	f.backoff = 1
 	f.rttSeq = -1
+	f.onTimeoutFn = f.onTimeout // one closure per flow, not per re-arm
 	f.rcvd = make(map[int64]bool)
 	f.sender = &senderEP{f}
 	f.receiver = &receiverEP{f}
@@ -155,15 +157,15 @@ func (f *Flow) sendSeg(seq int64, isRetransmit bool) {
 		f.rttSentAt = f.s.Now()
 		f.rttValid = true
 	}
-	f.net.Send(&netsim.Packet{
-		Flow:   f.ID,
-		Src:    f.Src,
-		Dst:    f.Dst,
-		Seq:    seq,
-		Size:   transport.SegmentWire(f.Size, seq),
-		Hash:   f.hash,
-		SentAt: f.s.Now(),
-	})
+	p := f.net.NewPacket()
+	p.Flow = f.ID
+	p.Src = f.Src
+	p.Dst = f.Dst
+	p.Seq = seq
+	p.Size = transport.SegmentWire(f.Size, seq)
+	p.Hash = f.hash
+	p.SentAt = f.s.Now()
+	f.net.Send(p)
 }
 
 // onData runs at the receiver: record the segment, send a cumulative ACK.
@@ -175,16 +177,16 @@ func (f *Flow) onData(p *netsim.Packet) {
 			f.cumRcvd++
 		}
 	}
-	f.net.Send(&netsim.Packet{
-		Flow:   f.ID,
-		Src:    f.Dst,
-		Dst:    f.Src,
-		Ack:    true,
-		AckSeq: f.cumRcvd,
-		Size:   transport.AckBytes,
-		Hash:   f.hash,
-		SentAt: f.s.Now(),
-	})
+	ack := f.net.NewPacket()
+	ack.Flow = f.ID
+	ack.Src = f.Dst
+	ack.Dst = f.Src
+	ack.Ack = true
+	ack.AckSeq = f.cumRcvd
+	ack.Size = transport.AckBytes
+	ack.Hash = f.hash
+	ack.SentAt = f.s.Now()
+	f.net.Send(ack)
 }
 
 // onAck runs at the sender.
@@ -271,13 +273,11 @@ func (f *Flow) updateRTT(sample float64) {
 }
 
 func (f *Flow) armTimer() {
-	if f.timer != nil {
-		f.timer.Cancel()
-	}
+	f.timer.Cancel()
 	if f.done {
 		return
 	}
-	f.timer = f.s.After(f.rto*f.backoff, f.onTimeout)
+	f.timer = f.s.After(f.rto*f.backoff, f.onTimeoutFn)
 }
 
 func (f *Flow) onTimeout() {
@@ -301,9 +301,7 @@ func (f *Flow) complete() {
 		return
 	}
 	f.done = true
-	if f.timer != nil {
-		f.timer.Cancel()
-	}
+	f.timer.Cancel()
 	f.srcStack.Unbind(f.ID)
 	f.dstStack.Unbind(f.ID)
 	if f.OnComplete != nil {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path micro-benchmarks and the serial figure-suite
+# benchmark, recording ns/op, B/op and allocs/op into BENCH_hotpath.json so
+# every PR leaves a perf trajectory to regress against.
+#
+# Usage:  scripts/bench.sh [output.json]     (default: BENCH_hotpath.json)
+#
+# The micro-benchmarks (BenchmarkEventLoop, BenchmarkMaxMinRates,
+# BenchmarkPacketForwarding, BenchmarkFluid1000Flows) measure the three hot
+# layers in isolation; BenchmarkAllFiguresSerial is the end-to-end figure
+# suite at bench scale. Compare a fresh run against the committed JSON:
+# ns/op regressions > ~20% or any B/op growth on the 0-alloc benchmarks
+# deserve a look before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_hotpath.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkPacketForwarding|BenchmarkFluid1000Flows' \
+    -benchmem ./internal/sim ./internal/flowsim ./internal/netsim | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkAllFiguresSerial' -benchtime=1x -benchmem . | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go env GOVERSION)" '
+BEGIN {
+    printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, goversion
+    first = 1
+}
+/^Benchmark/ && / ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = $3
+    b = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      b = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+        name, iters, ns, b, allocs
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
