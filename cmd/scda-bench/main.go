@@ -8,6 +8,13 @@
 //	           [-out results] [-seed 1] [-duration 30]
 //	           [-workers 0] [-reps 1]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	scda-bench -scenario-dir scenarios [-reps 5] [-workers 0] [-out results]
+//
+// With -scenario-dir the bench runs every declarative scenario spec
+// (*.json) in the directory instead of the paper figures: sweeps expand to
+// one variant each, the (scenario, replicate) grid fans out across the
+// worker pool, and with -reps > 1 each scenario's series carry mean ± 95%
+// CI error bars. Results are seed-deterministic at any worker count.
 //
 // At -scale paper the suite reproduces the published parameters
 // (X=500/200 Mb/s, 100 s horizons) and takes correspondingly longer;
@@ -41,6 +48,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // memProfilePath is set from -memprofile so flushProfiles can write the
@@ -75,6 +83,42 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
+// runScenarios is the -scenario-dir mode: load and expand every spec in
+// dir, flatten the (scenario, replicate) grid onto the pool, and write
+// each scenario's summary and series CSVs under out.
+func runScenarios(dir, out string, reps int, pool *runner.Pool) {
+	specs, err := scenario.LoadDir(dir)
+	if err != nil {
+		fail("%v", err)
+	}
+	specs, err = scenario.ExpandAll(specs)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("SCDA scenario bench — %d scenarios from %s, workers=%d reps=%d\n\n",
+		len(specs), dir, pool.Workers(), reps)
+	start := time.Now()
+	results, err := scenario.RunAll(specs, reps, pool)
+	if err != nil {
+		fail("%v", err)
+	}
+	elapsed := time.Since(start)
+	for _, r := range results {
+		fmt.Printf("%s  (%d requests)\n", r.Spec.Name, r.Requests)
+		r.PrintSummary(os.Stdout)
+		paths, err := r.WriteFiles(out)
+		if err != nil {
+			fail("writing %s: %v", r.Spec.Name, err)
+		}
+		for _, p := range paths {
+			fmt.Printf("    -> %s\n", p)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d scenarios completed in %.2fs wall-clock on %d workers\n",
+		len(results), elapsed.Seconds(), pool.Workers())
+}
+
 func main() {
 	scale := flag.String("scale", "quick", "quick or paper")
 	figures := flag.String("figures", "all", "comma-separated figure IDs (fig07..fig18) or all")
@@ -87,6 +131,7 @@ func main() {
 	reps := flag.Int("reps", 1, "replicate seeds per figure; >1 adds 95% CI error bars")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	scenarioDir := flag.String("scenario-dir", "", "run every scenario spec in this directory instead of the paper figures")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -100,6 +145,20 @@ func main() {
 	}
 	memProfilePath = *memprofile
 	defer flushProfiles()
+
+	if *scenarioDir != "" {
+		// scenario specs carry their own seed/duration/scale; rejecting
+		// the figure-mode flags beats silently ignoring them
+		inert := map[string]bool{"scale": true, "figures": true, "ablations": true,
+			"sweeps": true, "seed": true, "duration": true}
+		flag.Visit(func(f *flag.Flag) {
+			if inert[f.Name] {
+				fail("-%s has no effect with -scenario-dir: edit the spec files instead", f.Name)
+			}
+		})
+		runScenarios(*scenarioDir, *out, *reps, runner.New(*workers))
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scale {

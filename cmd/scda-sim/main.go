@@ -1,27 +1,51 @@
 // Command scda-sim runs one datacenter scenario — SCDA or the RandTCP
-// baseline — with a chosen workload on the paper's fig. 6 topology and
-// prints the resulting transfer statistics.
+// baseline — and prints the resulting transfer statistics.
 //
-// Usage:
+// Three modes:
 //
-//	scda-sim [-system scda|randtcp] [-workload video|videonoctl|dc|pareto]
-//	         [-x 500e6] [-k 3] [-duration 30] [-seed 1] [-replicate]
-//	         [-nns 3] [-rscale 0] [-poweraware] [-trace file.csv]
+//	scda-sim [-system scda|randtcp] [-workload NAME] [-x 500e6] [-k 3]
+//	         [-duration 30] [-seed 1] [-replicate] [-nns 3] [-rscale 0]
+//	         [-poweraware] [-trace file.csv]
+//	    flag mode: one workload from the registry (or a replayed trace
+//	    CSV) on the fig. 6 topology.
+//
+//	scda-sim -scenario file.json [-out results]
+//	    scenario mode: run a declarative scenario spec end to end —
+//	    topology, phased workload program, system, fault injection —
+//	    expanding its sweep (if any) into one run per variant, and write
+//	    the requested output CSVs under -out. Output is byte-identical
+//	    across runs of the same spec.
+//
+//	scda-sim -validate PATH...
+//	    validate scenario specs (files, or directories of *.json) and
+//	    exit non-zero on the first invalid one. CI runs this over
+//	    scenarios/.
+//
+// Workload names come from the generator registry; see scenarios/README.md
+// for the scenario spec reference.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scda-sim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	system := flag.String("system", "scda", "scda or randtcp")
-	wl := flag.String("workload", "dc", "video, videonoctl, dc or pareto")
+	wl := flag.String("workload", "dc", "workload generator: "+workload.Help())
 	x := flag.Float64("x", 500e6, "base bandwidth X in bits/sec")
 	k := flag.Float64("k", 3, "bandwidth factor K")
 	duration := flag.Float64("duration", 30, "arrival horizon in seconds")
@@ -31,7 +55,19 @@ func main() {
 	rscale := flag.Float64("rscale", 0, "passive-content scale-down threshold in bits/sec (0 = off)")
 	powerAware := flag.Bool("poweraware", false, "power-aware server selection (section VII-D)")
 	trace := flag.String("trace", "", "replay a workload trace CSV instead of generating")
+	scenarioFile := flag.String("scenario", "", "run a declarative scenario spec (JSON)")
+	validate := flag.Bool("validate", false, "validate scenario specs (args: files or directories) and exit")
+	out := flag.String("out", "results", "output directory for scenario CSVs")
 	flag.Parse()
+
+	if *validate {
+		runValidate(flag.Args(), *scenarioFile)
+		return
+	}
+	if *scenarioFile != "" {
+		runScenario(*scenarioFile, *out)
+		return
+	}
 
 	var sys cluster.System
 	switch *system {
@@ -58,30 +94,17 @@ func main() {
 	if *trace != "" {
 		f, err := os.Open(*trace)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		reqs, err = workload.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 	} else {
-		var gen workload.Generator
-		switch *wl {
-		case "video":
-			gen = workload.DefaultVideoSpec()
-		case "videonoctl":
-			spec := workload.DefaultVideoSpec()
-			spec.ControlFlows = false
-			gen = spec
-		case "dc":
-			gen = workload.DefaultDCSpec()
-		case "pareto":
-			gen = workload.DefaultParetoSpec()
-		default:
-			fmt.Fprintf(os.Stderr, "scda-sim: unknown workload %q\n", *wl)
+		gen, err := workload.New(*wl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
 			os.Exit(2)
 		}
 		reqs = gen.Generate(sim.NewRNG(*seed), *duration)
@@ -89,8 +112,7 @@ func main() {
 
 	c, err := cluster.New(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	st := workload.Summarize(reqs)
 	fmt.Printf("system=%v workload=%s requests=%d totalMB=%.1f X=%.0fMb/s K=%.0f\n",
@@ -107,4 +129,92 @@ func main() {
 	c.Power.AccrueAll(c.Sim.Now())
 	fmt.Printf("energy=%.1f kJ over %.1f simulated seconds\n",
 		c.Power.TotalEnergy()/1e3, c.Sim.Now())
+}
+
+// runScenario executes one spec file (all sweep variants) and writes its
+// outputs.
+func runScenario(path, out string) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	variants, err := spec.Expand()
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, s := range variants {
+		r, err := scenario.Run(s)
+		if err != nil {
+			fail("%v", err)
+		}
+		printResult(r)
+		paths, err := r.WriteFiles(out)
+		if err != nil {
+			fail("writing outputs: %v", err)
+		}
+		for _, p := range paths {
+			fmt.Printf("    -> %s\n", p)
+		}
+		fmt.Println()
+	}
+}
+
+// printResult prints one scenario summary header plus the shared metric
+// rendering.
+func printResult(r *scenario.Result) {
+	fmt.Printf("scenario %s (seed=%d duration=%.0fs requests=%d)\n",
+		r.Spec.Name, r.Spec.Seed, r.Spec.Duration, r.Requests)
+	r.PrintSummary(os.Stdout)
+}
+
+// runValidate checks every spec in the given files/directories, printing
+// one line per spec, and exits 1 if any is invalid.
+func runValidate(args []string, scenarioFile string) {
+	if scenarioFile != "" {
+		args = append([]string{scenarioFile}, args...)
+	}
+	if len(args) == 0 {
+		fail("-validate needs spec files or directories (e.g. scda-sim -validate scenarios)")
+	}
+	bad := 0
+	check := func(path string) {
+		s, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-sim: INVALID %v\n", err)
+			bad++
+			return
+		}
+		n := ""
+		if s.Sweep != nil {
+			vs, _ := s.Expand()
+			n = fmt.Sprintf(" (%d sweep variants)", len(vs))
+		}
+		fmt.Printf("ok %-24s %s%s\n", s.Name, path, n)
+	}
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fail("%v", err)
+		}
+		if !info.IsDir() {
+			check(arg)
+			continue
+		}
+		// same *.json listing as scenario.LoadDir, but validate each file
+		// individually so one bad spec doesn't hide the rest
+		matches, err := filepath.Glob(filepath.Join(arg, "*.json"))
+		if err != nil {
+			fail("%v", err)
+		}
+		if len(matches) == 0 {
+			fail("no *.json specs in %s", arg)
+		}
+		sort.Strings(matches)
+		for _, m := range matches {
+			check(m)
+		}
+	}
+	if bad > 0 {
+		fail("%d invalid spec(s)", bad)
+	}
 }

@@ -5,6 +5,11 @@
 //
 //	scda-trace -workload video -duration 100 -seed 1 > video.csv
 //	scda-trace -stats video.csv
+//	scda-trace -list
+//
+// -workload accepts any name from the generator registry (-list prints
+// them with descriptions), so the help stays truthful as generators are
+// added.
 package main
 
 import (
@@ -17,11 +22,19 @@ import (
 )
 
 func main() {
-	wl := flag.String("workload", "dc", "video, videonoctl, dc or pareto")
+	wl := flag.String("workload", "dc", "workload generator: "+workload.Help())
 	duration := flag.Float64("duration", 100, "trace horizon in seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
 	statsFile := flag.String("stats", "", "summarise an existing trace file instead of generating")
+	list := flag.Bool("list", false, "list registered workload generators and exit")
 	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			fmt.Printf("%-12s %s\n", name, workload.Describe(name))
+		}
+		return
+	}
 
 	if *statsFile != "" {
 		f, err := os.Open(*statsFile)
@@ -46,20 +59,9 @@ func main() {
 		return
 	}
 
-	var gen workload.Generator
-	switch *wl {
-	case "video":
-		gen = workload.DefaultVideoSpec()
-	case "videonoctl":
-		spec := workload.DefaultVideoSpec()
-		spec.ControlFlows = false
-		gen = spec
-	case "dc":
-		gen = workload.DefaultDCSpec()
-	case "pareto":
-		gen = workload.DefaultParetoSpec()
-	default:
-		fmt.Fprintf(os.Stderr, "scda-trace: unknown workload %q\n", *wl)
+	gen, err := workload.New(*wl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scda-trace: %v\n", err)
 		os.Exit(2)
 	}
 	reqs := gen.Generate(sim.NewRNG(*seed), *duration)

@@ -6,7 +6,11 @@
 // simulator (the NS2 stand-in), TCP Reno and the SCDA explicit-rate
 // transport, the RM/RA rate-allocation plane (equations 2-6), the
 // FES/NNS/BS distributed file system, content-aware server selection,
-// power modelling, workload generators, a parallel experiment orchestrator
-// (internal/runner), and an experiment harness that regenerates every
-// figure of the paper's evaluation. See README.md and EXPERIMENTS.md.
+// power modelling, a registry of workload generators with a phase
+// compositor, a parallel experiment orchestrator (internal/runner), an
+// experiment harness that regenerates every figure of the paper's
+// evaluation, and a declarative scenario layer (internal/scenario) that
+// turns topology, workload mix, faults and outputs into versioned JSON
+// specs under scenarios/. See README.md, EXPERIMENTS.md, ARCHITECTURE.md
+// and scenarios/README.md.
 package repro

@@ -51,6 +51,7 @@ const (
 	RandTCP
 )
 
+// String names the system for logs and summaries.
 func (s System) String() string {
 	if s == SCDA {
 		return "SCDA"

@@ -33,6 +33,7 @@ const (
 	Passive
 )
 
+// String names the class for logs and learning diagnostics.
 func (c Class) String() string {
 	switch c {
 	case Interactive:

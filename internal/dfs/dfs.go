@@ -28,6 +28,7 @@ type BlockID struct {
 	Index   int
 }
 
+// String renders the block ID as content/index.
 func (b BlockID) String() string { return fmt.Sprintf("%s/%d", b.Content, b.Index) }
 
 // Block is the metadata for one block of a content.

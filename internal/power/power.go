@@ -30,6 +30,7 @@ const (
 	Transitioning
 )
 
+// String names the power state for logs.
 func (s State) String() string {
 	switch s {
 	case Active:

@@ -33,6 +33,7 @@ const (
 	Switch
 )
 
+// String names the node kind for topology dumps.
 func (k NodeKind) String() string {
 	if k == Host {
 		return "host"

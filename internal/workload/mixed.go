@@ -51,7 +51,9 @@ func DefaultMixedSpec() MixedSpec {
 	}
 }
 
-func (m MixedSpec) validate() error {
+// Validate checks the spec parameters, returning a descriptive error for
+// the first invalid field.
+func (m MixedSpec) Validate() error {
 	switch {
 	case m.WriteRate <= 0 || m.Clients <= 0:
 		return fmt.Errorf("workload: mixed rate/clients invalid")
@@ -91,7 +93,7 @@ func zipfRank(rng *sim.RNG, n int, s float64) int {
 // Generate implements Generator. Reads always reference contents whose
 // write request precedes them in time.
 func (m MixedSpec) Generate(rng *sim.RNG, duration float64) []Request {
-	if err := m.validate(); err != nil {
+	if err := m.Validate(); err != nil {
 		panic(err)
 	}
 	mu := math.Log(m.MeanSizeBytes) - m.SigmaLog*m.SigmaLog/2

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory builds a fresh generator preset with its default parameters.
+// The returned value must be a pointer so callers (the scenario layer, the
+// CLIs) can overlay JSON parameters onto the defaults before generating.
+type Factory func() Generator
+
+// Validator is implemented by every generator spec in this package; the
+// scenario layer calls it after overlaying user parameters so invalid specs
+// fail with a descriptive error instead of a panic mid-generation.
+type Validator interface {
+	Validate() error
+}
+
+// entry is one registered generator preset.
+type entry struct {
+	describe string
+	factory  Factory
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]entry{}
+)
+
+// Register adds a named generator preset. Registering a duplicate name
+// panics: the registry is the single source of truth the CLIs print as
+// usage text, so a silent overwrite would make help output ambiguous.
+func Register(name, describe string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: generator %q registered twice", name))
+	}
+	registry[name] = entry{describe: describe, factory: f}
+}
+
+// Names returns all registered generator names, sorted, so CLI usage text
+// and error messages enumerate workloads programmatically and stay truthful
+// as generators are added.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Help returns the registered names joined with "|" for flag usage strings.
+func Help() string {
+	return strings.Join(Names(), "|")
+}
+
+// Describe returns the one-line description of a registered generator
+// ("" for unknown names).
+func Describe(name string) string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return registry[name].describe
+}
+
+// New returns a fresh default-parameter generator for a registered name.
+// The error for unknown names lists what is available.
+func New(name string) (Generator, error) {
+	registryMu.RLock()
+	e, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown generator %q (have %s)", name, Help())
+	}
+	return e.factory(), nil
+}
+
+// The built-in presets. Factories return pointers to fresh default specs so
+// JSON parameter overlays never mutate shared state.
+func init() {
+	Register("video", "YouTube-style video traces with HTTP control flows (section X-A1)",
+		func() Generator { s := DefaultVideoSpec(); return &s })
+	Register("videonoctl", "video traces without the <5KB control flows (figs. 10-12)",
+		func() Generator { s := DefaultVideoSpec(); s.ControlFlows = false; return &s })
+	Register("dc", "general datacenter traces: mice + elephant tail, log-normal arrivals (X-A2)",
+		func() Generator { s := DefaultDCSpec(); return &s })
+	Register("pareto", "Pareto file sizes with Poisson arrivals (section X-B)",
+		func() Generator { s := DefaultParetoSpec(); return &s })
+	Register("mixed", "write-once read-many mix with Zipf-popular reads",
+		func() Generator { s := DefaultMixedSpec(); return &s })
+	Register("diurnal", "sinusoidally modulated arrival rate (day/night load)",
+		func() Generator { s := DefaultDiurnalSpec(); return &s })
+	Register("flashcrowd", "background writes plus a step read burst on one hot object",
+		func() Generator { s := DefaultFlashCrowdSpec(); return &s })
+	Register("zipfchurn", "Zipf-popular reads over a growing catalog with popularity churn",
+		func() Generator { s := DefaultZipfChurnSpec(); return &s })
+}

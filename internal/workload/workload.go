@@ -38,6 +38,7 @@ const (
 	Read
 )
 
+// String names the operation for traces and logs.
 func (o Op) String() string {
 	if o == Write {
 		return "write"
@@ -103,7 +104,9 @@ func DefaultVideoSpec() VideoSpec {
 	}
 }
 
-func (v VideoSpec) validate() error {
+// Validate checks the spec parameters, returning a descriptive error for
+// the first invalid field.
+func (v VideoSpec) Validate() error {
 	switch {
 	case v.ArrivalRate <= 0:
 		return fmt.Errorf("workload: video ArrivalRate = %v", v.ArrivalRate)
@@ -126,7 +129,7 @@ const ControlFlowMaxBytes = 5_000
 
 // Generate implements Generator.
 func (v VideoSpec) Generate(rng *sim.RNG, duration float64) []Request {
-	if err := v.validate(); err != nil {
+	if err := v.Validate(); err != nil {
 		panic(err)
 	}
 	// log-normal with the requested mean: mean = exp(mu + sigma²/2)
@@ -211,10 +214,14 @@ func DefaultDCSpec() DCSpec {
 	}
 }
 
-func (d DCSpec) validate() error {
+// Validate checks the spec parameters, returning a descriptive error for
+// the first invalid field.
+func (d DCSpec) Validate() error {
 	switch {
-	case d.ArrivalRate <= 0 || d.Clients <= 0:
-		return fmt.Errorf("workload: dc rate/clients invalid")
+	case d.ArrivalRate <= 0:
+		return fmt.Errorf("workload: dc ArrivalRate = %v", d.ArrivalRate)
+	case d.Clients <= 0:
+		return fmt.Errorf("workload: dc Clients = %d", d.Clients)
 	case d.MiceFraction < 0 || d.MiceFraction > 1:
 		return fmt.Errorf("workload: MiceFraction = %v", d.MiceFraction)
 	case d.MiceMeanBytes <= 0 || d.ElephantMinBytes <= 0 || d.ElephantShape <= 0:
@@ -227,7 +234,7 @@ func (d DCSpec) validate() error {
 
 // Generate implements Generator.
 func (d DCSpec) Generate(rng *sim.RNG, duration float64) []Request {
-	if err := d.validate(); err != nil {
+	if err := d.Validate(); err != nil {
 		panic(err)
 	}
 	// log-normal inter-arrivals with mean 1/rate: mean = exp(mu+sigma²/2)
@@ -282,7 +289,9 @@ func DefaultParetoSpec() ParetoSpec {
 	return ParetoSpec{ArrivalRate: 200, Clients: 40, MeanSizeBytes: 500e3, Shape: 1.6, CapBytes: 100 << 20}
 }
 
-func (p ParetoSpec) validate() error {
+// Validate checks the spec parameters, returning a descriptive error for
+// the first invalid field.
+func (p ParetoSpec) Validate() error {
 	switch {
 	case p.ArrivalRate <= 0 || p.Clients <= 0:
 		return fmt.Errorf("workload: pareto rate/clients invalid")
@@ -294,7 +303,7 @@ func (p ParetoSpec) validate() error {
 
 // Generate implements Generator.
 func (p ParetoSpec) Generate(rng *sim.RNG, duration float64) []Request {
-	if err := p.validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	xm := p.MeanSizeBytes * (p.Shape - 1) / p.Shape
