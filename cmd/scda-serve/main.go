@@ -1,0 +1,100 @@
+// Command scda-serve is the long-running simulation service: the
+// internal/service subsystem behind a plain HTTP listener. Instead of a
+// one-shot CLI run that rebuilds state from scratch, clients POST
+// declarative scenario specs and the service queues, executes, caches and
+// streams them:
+//
+//	scda-serve [-addr :8080] [-workers 0] [-jobs 2] [-cache-dir DIR]
+//	           [-default-reps 1] [-max-reps 64]
+//
+//	# submit a scenario and watch it run
+//	curl -X POST --data-binary @scenarios/flash-crowd.json localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/j000001/events
+//	curl localhost:8080/v1/jobs/j000001/result?csv=summary
+//
+// Results are cached by canonical spec hash × replicate count (see
+// `scda-sim -hash`): identical submissions are served without
+// recomputation and are byte-identical to `scda-sim -scenario` output for
+// the same spec. -cache-dir persists results across restarts. SIGINT or
+// SIGTERM shuts down gracefully: in-flight jobs stop at their next
+// replicate boundary, queued jobs are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scda-serve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "replicate fan-out pool width (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", 2, "jobs executing concurrently")
+	cacheDir := flag.String("cache-dir", "", "persist results under this directory (empty = memory-only cache)")
+	defaultReps := flag.Int("default-reps", 1, "replicates when a submission omits ?reps")
+	maxReps := flag.Int("max-reps", 64, "upper bound on per-job replicates")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:     *workers,
+		JobRunners:  *jobs,
+		CacheDir:    *cacheDir,
+		DefaultReps: *defaultReps,
+		MaxReps:     *maxReps,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	poolWidth := *workers
+	if poolWidth <= 0 {
+		poolWidth = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("scda-serve: listening on http://%s (jobs=%d workers=%d cache-dir=%q)\n",
+		ln.Addr(), *jobs, poolWidth, *cacheDir)
+
+	// ReadHeaderTimeout guards the resident listener against connections
+	// that never send headers; write timeouts stay off because the events
+	// endpoint streams for a job's whole lifetime.
+	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+	case <-ctx.Done():
+		fmt.Println("scda-serve: shutting down")
+		// Cancel the jobs first: event streams and ?wait=true requests
+		// only finish when their job terminates, so closing the service
+		// before Shutdown lets those connections drain immediately
+		// instead of stalling out the whole timeout.
+		svc.Close()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "scda-serve: shutdown: %v\n", err)
+		}
+	}
+}

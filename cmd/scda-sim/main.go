@@ -21,6 +21,12 @@
 //	    exit non-zero on the first invalid one. CI runs this over
 //	    scenarios/.
 //
+//	scda-sim -hash PATH...
+//	    print the stable content hash of each spec (files, or directories
+//	    of *.json). scda-serve caches results under this hash suffixed
+//	    with the replicate count ("<hash>-r<reps>"), so operators can
+//	    predict cache hits and locate cache directories.
+//
 // Workload names come from the generator registry; see scenarios/README.md
 // for the scenario spec reference.
 package main
@@ -57,11 +63,16 @@ func main() {
 	trace := flag.String("trace", "", "replay a workload trace CSV instead of generating")
 	scenarioFile := flag.String("scenario", "", "run a declarative scenario spec (JSON)")
 	validate := flag.Bool("validate", false, "validate scenario specs (args: files or directories) and exit")
+	hash := flag.Bool("hash", false, "print the stable content hash of scenario specs (args: files or directories) and exit")
 	out := flag.String("out", "results", "output directory for scenario CSVs")
 	flag.Parse()
 
 	if *validate {
 		runValidate(flag.Args(), *scenarioFile)
+		return
+	}
+	if *hash {
+		runHash(flag.Args(), *scenarioFile)
 		return
 	}
 	if *scenarioFile != "" {
@@ -191,17 +202,56 @@ func runValidate(args []string, scenarioFile string) {
 		}
 		fmt.Printf("ok %-24s %s%s\n", s.Name, path, n)
 	}
+	forEachSpecPath(args, check)
+	if bad > 0 {
+		fail("%d invalid spec(s)", bad)
+	}
+}
+
+// runHash prints "<hash>  <name>  <path>" for every spec in the given
+// files/directories. scda-serve's cache key (and disk-cache directory
+// name) is this hash plus a "-r<reps>" replicate-count suffix.
+func runHash(args []string, scenarioFile string) {
+	if scenarioFile != "" {
+		args = append([]string{scenarioFile}, args...)
+	}
+	if len(args) == 0 {
+		fail("-hash needs spec files or directories (e.g. scda-sim -hash scenarios)")
+	}
+	bad := 0
+	forEachSpecPath(args, func(path string) {
+		s, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-sim: INVALID %v\n", err)
+			bad++
+			return
+		}
+		h, err := s.Hash()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
+			bad++
+			return
+		}
+		fmt.Printf("%s  %-24s %s\n", h, s.Name, path)
+	})
+	if bad > 0 {
+		fail("%d unhashable spec(s)", bad)
+	}
+}
+
+// forEachSpecPath calls fn for every named spec file, expanding directory
+// arguments to their *.json files in sorted order (same listing as
+// scenario.LoadDir, but per-file so one bad spec doesn't hide the rest).
+func forEachSpecPath(args []string, fn func(path string)) {
 	for _, arg := range args {
 		info, err := os.Stat(arg)
 		if err != nil {
 			fail("%v", err)
 		}
 		if !info.IsDir() {
-			check(arg)
+			fn(arg)
 			continue
 		}
-		// same *.json listing as scenario.LoadDir, but validate each file
-		// individually so one bad spec doesn't hide the rest
 		matches, err := filepath.Glob(filepath.Join(arg, "*.json"))
 		if err != nil {
 			fail("%v", err)
@@ -211,10 +261,7 @@ func runValidate(args []string, scenarioFile string) {
 		}
 		sort.Strings(matches)
 		for _, m := range matches {
-			check(m)
+			fn(m)
 		}
-	}
-	if bad > 0 {
-		fail("%d invalid spec(s)", bad)
 	}
 }

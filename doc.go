@@ -9,8 +9,10 @@
 // power modelling, a registry of workload generators with a phase
 // compositor, a parallel experiment orchestrator (internal/runner), an
 // experiment harness that regenerates every figure of the paper's
-// evaluation, and a declarative scenario layer (internal/scenario) that
+// evaluation, a declarative scenario layer (internal/scenario) that
 // turns topology, workload mix, faults and outputs into versioned JSON
-// specs under scenarios/. See README.md, EXPERIMENTS.md, ARCHITECTURE.md
+// specs under scenarios/, and a resident simulation service
+// (internal/service, cmd/scda-serve) that queues, caches and streams
+// scenario runs over HTTP. See README.md, EXPERIMENTS.md, ARCHITECTURE.md
 // and scenarios/README.md.
 package repro

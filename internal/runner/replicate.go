@@ -1,6 +1,10 @@
 package runner
 
-import "repro/internal/sim"
+import (
+	"context"
+
+	"repro/internal/sim"
+)
 
 // DeriveSeeds expands a base experiment seed into n per-replicate seeds via
 // the deterministic SplitMix64 stream, so replicates are statistically
@@ -21,8 +25,18 @@ func DeriveSeeds(base uint64, n int) []uint64 {
 // invocation receives its own seed and must build all randomness from it
 // (sim.NewRNG(seed) per task, never shared across tasks).
 func Replicate[T any](p *Pool, base uint64, n int, fn func(rep int, seed uint64) (T, error)) ([]T, error) {
+	return ReplicateCtx(context.Background(), p, base, n, func(_ context.Context, rep int, seed uint64) (T, error) {
+		return fn(rep, seed)
+	})
+}
+
+// ReplicateCtx is Replicate with cooperative cancellation (MapCtx's rules):
+// no replicate starts once ctx is done, and the seed stream is unchanged —
+// replicate i always receives DeriveSeeds(base, n)[i] regardless of how
+// many replicates actually ran.
+func ReplicateCtx[T any](ctx context.Context, p *Pool, base uint64, n int, fn func(ctx context.Context, rep int, seed uint64) (T, error)) ([]T, error) {
 	seeds := DeriveSeeds(base, n)
-	return Map(p, n, func(i int) (T, error) {
-		return fn(i, seeds[i])
+	return MapCtx(ctx, p, n, func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, i, seeds[i])
 	})
 }

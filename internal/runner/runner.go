@@ -15,6 +15,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -71,11 +72,32 @@ func orDefault(p *Pool) *Pool {
 // same pool (tasks waiting on nested tasks can exhaust the workers and
 // deadlock); use a separate pool for nested fan-out.
 func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), p, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done no further
+// task starts — a serial pool stops between iterations, a concurrent pool
+// stops submitting while already-running tasks finish — and MapCtx returns
+// ctx.Err() (a task error from a lower index wins, matching Map's error
+// rule). A Map whose every task already ran to completion returns its
+// results even if ctx fired during the last task: the cancellation
+// arrived too late to prevent any work, and discarding a finished result
+// would only force the caller to redo it. This holds identically on
+// serial and concurrent pools, so outcomes never depend on pool width.
+// Each task receives ctx so long-running bodies can observe the
+// cancellation themselves; a task already executing when ctx fires is
+// never interrupted by the pool.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	p = orDefault(p)
 	out := make([]T, n)
 	if p.workers == 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
 			if err != nil {
 				return nil, err
 			}
@@ -86,19 +108,34 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	var failed atomic.Bool
 	var wg sync.WaitGroup
+	submitted := 0
+submit:
 	for i := 0; i < n; i++ {
 		if failed.Load() {
 			break
 		}
+		// A fired ctx must win even when a sem slot is also free — the
+		// two-case select alone picks uniformly between ready cases, which
+		// would launch tasks after cancellation about half the time.
+		select {
+		case <-ctx.Done():
+			break submit
+		default:
+		}
+		select {
+		case <-ctx.Done():
+			break submit
+		case p.sem <- struct{}{}:
+		}
 		i := i
-		p.sem <- struct{}{}
+		submitted++
 		wg.Add(1)
 		go func() {
 			defer func() {
 				<-p.sem
 				wg.Done()
 			}()
-			out[i], errs[i] = fn(i)
+			out[i], errs[i] = fn(ctx, i)
 			if errs[i] != nil {
 				failed.Store(true)
 			}
@@ -110,6 +147,13 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 			return nil, err
 		}
 	}
+	if submitted < n {
+		// Cancellation (the only error-free way to stop submitting)
+		// actually prevented work: report it.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }
 
@@ -117,6 +161,14 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 func Each(p *Pool, n int, fn func(i int) error) error {
 	_, err := Map(p, n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// EachCtx is MapCtx for tasks with no result value.
+func EachCtx(ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := MapCtx(ctx, p, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
 	})
 	return err
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -247,6 +248,245 @@ func TestGroupClearDuringFlight(t *testing.T) {
 	v, _ := g.Do("k", func() (int, error) { calls++; return 2, nil })
 	if v != 2 || calls != 1 {
 		t.Fatalf("post-Clear Do returned stale value %d (calls=%d)", v, calls)
+	}
+}
+
+func TestMapCtxSerialStopsBetweenTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, err := MapCtx(ctx, Serial(), 10, func(ctx context.Context, i int) (int, error) {
+		ran++
+		if i == 2 {
+			cancel() // takes effect before task 3 starts
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d tasks after cancel at task 2, want 3", ran)
+	}
+}
+
+func TestMapCtxConcurrentStopsSubmitting(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := MapCtx(ctx, New(2), 200, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s >= 100 {
+		t.Fatalf("%d of 200 tasks started after cancellation", s)
+	}
+}
+
+func TestMapCtxLateCancelKeepsCompletedResults(t *testing.T) {
+	// ctx firing during the final task prevented nothing: the completed
+	// results are returned, on serial and concurrent pools alike. (The
+	// cancel inside task n-1 necessarily post-dates every submission, so
+	// the all-tasks-ran condition holds deterministically.)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		out, err := MapCtx(ctx, New(workers), 4, func(ctx context.Context, i int) (int, error) {
+			if i == 3 {
+				cancel()
+			}
+			return i * 10, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v, want completed results", workers, err)
+		}
+		for i, v := range out {
+			if v != i*10 {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		cancel()
+	}
+}
+
+func TestMapCtxTaskErrorWinsOverCancel(t *testing.T) {
+	// A real task failure must not be masked by the ctx being cancelled
+	// afterwards: Map's lowest-index-error rule still applies.
+	sentinel := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := MapCtx(ctx, Serial(), 5, func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			cancel()
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want task error", err)
+	}
+}
+
+func TestMapCtxBackgroundMatchesMap(t *testing.T) {
+	out, err := MapCtx(context.Background(), New(4), 32, func(_ context.Context, i int) (int, error) {
+		return i * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEachCtx(t *testing.T) {
+	var n atomic.Int64
+	if err := EachCtx(context.Background(), New(3), 24, func(_ context.Context, i int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 24 {
+		t.Fatalf("ran %d of 24", n.Load())
+	}
+}
+
+func TestReplicateCtxSeedsStableUnderCancel(t *testing.T) {
+	// Cancelling must not shift the seed stream: whatever replicates do run
+	// see exactly the seeds a full run would have given them.
+	seeds := DeriveSeeds(9, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	got := map[int]uint64{}
+	_, err := ReplicateCtx(ctx, Serial(), 9, 6, func(ctx context.Context, rep int, seed uint64) (int, error) {
+		mu.Lock()
+		got[rep] = seed
+		mu.Unlock()
+		if rep == 1 {
+			cancel()
+		}
+		return rep, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	for rep, seed := range got {
+		if seed != seeds[rep] {
+			t.Fatalf("rep %d seed %d, want %d", rep, seed, seeds[rep])
+		}
+	}
+}
+
+func TestGroupPeek(t *testing.T) {
+	g := NewGroup[string, int]()
+	if _, ok := g.Peek("missing"); ok {
+		t.Fatal("Peek hit on an absent key")
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 41, nil
+		})
+		close(done)
+	}()
+	<-started
+	if _, ok := g.Peek("k"); ok {
+		t.Fatal("Peek hit on an in-flight key")
+	}
+	close(release)
+	<-done
+	v, ok := g.Peek("k")
+	if !ok || v != 41 {
+		t.Fatalf("Peek = %d, %v after completion", v, ok)
+	}
+}
+
+func TestGroupAdd(t *testing.T) {
+	g := NewGroup[string, int]()
+	if !g.Add("k", 5) {
+		t.Fatal("Add to an empty key refused")
+	}
+	if v, ok := g.Peek("k"); !ok || v != 5 {
+		t.Fatalf("Peek after Add = %d, %v", v, ok)
+	}
+	calls := 0
+	if v, _ := g.Do("k", func() (int, error) { calls++; return 0, nil }); v != 5 || calls != 0 {
+		t.Fatalf("Do after Add recomputed: v=%d calls=%d", v, calls)
+	}
+	if g.Add("k", 6) {
+		t.Fatal("Add over a cached entry succeeded")
+	}
+	if v, _ := g.Peek("k"); v != 5 {
+		t.Fatalf("losing Add clobbered the entry: %d", v)
+	}
+
+	// Add must not displace an in-flight call.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		v, _ := g.Do("flight", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		done <- v
+	}()
+	<-started
+	if g.Add("flight", 2) {
+		t.Fatal("Add displaced an in-flight call")
+	}
+	close(release)
+	if v := <-done; v != 1 {
+		t.Fatalf("in-flight waiter got %d after Add", v)
+	}
+}
+
+func TestGroupForget(t *testing.T) {
+	g := NewGroup[string, int]()
+	calls := 0
+	fn := func() (int, error) { calls++; return calls, nil }
+	g.Do("k", fn)
+	g.Forget("k")
+	if g.Len() != 0 {
+		t.Fatalf("Len after Forget = %d", g.Len())
+	}
+	if v, _ := g.Do("k", fn); v != 2 || calls != 2 {
+		t.Fatalf("Forget did not force recompute: v=%d calls=%d", v, calls)
+	}
+	g.Forget("absent") // no-op
+
+	// Forget must not disturb an in-flight call.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		v, _ := g.Do("flight", func() (int, error) {
+			close(started)
+			<-release
+			return 9, nil
+		})
+		done <- v
+	}()
+	<-started
+	g.Forget("flight")
+	close(release)
+	if v := <-done; v != 9 {
+		t.Fatalf("in-flight waiter got %d after Forget", v)
+	}
+	if v, ok := g.Peek("flight"); !ok || v != 9 {
+		t.Fatalf("in-flight call evicted by Forget: %d %v", v, ok)
 	}
 }
 

@@ -57,6 +57,69 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	return c.val, c.err
 }
 
+// Peek returns the completed cached value for key without running or
+// waiting for anything: ok is false while the key is absent or still in
+// flight. It lets a cache front-end (e.g. the simulation service's submit
+// path) answer instantly from memoized results while leaving computation
+// and in-flight coalescing to Do.
+func (g *Group[K, V]) Peek(key K) (V, bool) {
+	var zero V
+	g.mu.Lock()
+	c, ok := g.calls[key]
+	g.mu.Unlock()
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-c.done:
+	default:
+		return zero, false
+	}
+	if c.err != nil {
+		return zero, false
+	}
+	return c.val, true
+}
+
+// Add installs val as the completed cached value for key, reporting
+// whether it was installed: false when a cached or in-flight call already
+// holds the key, which preserves Do's exactly-once semantics. It lets a
+// caller seed the memo from an external source (e.g. a disk cache layer)
+// without blocking in Do.
+func (g *Group[K, V]) Add(key K, val V) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if _, ok := g.calls[key]; ok {
+		return false
+	}
+	c := &call[V]{done: make(chan struct{}), val: val}
+	close(c.done)
+	g.calls[key] = c
+	return true
+}
+
+// Forget drops the completed entry for key, if any, so the next Do
+// recomputes it. An in-flight call is left alone — its waiters still get
+// the result and it caches as usual. This is the eviction hook for
+// callers bounding a Group used as a long-lived memo cache.
+func (g *Group[K, V]) Forget(key K) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.calls[key]
+	if !ok {
+		return
+	}
+	select {
+	case <-c.done:
+	default:
+		return
+	}
+	delete(g.calls, key)
+}
+
 // Clear drops all cached and in-flight entries. Callers already waiting on
 // an in-flight call still receive its result; the next Do for any key
 // recomputes.

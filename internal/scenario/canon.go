@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalJSON returns the spec's canonical encoding: one compact JSON
+// object with every map's keys sorted, no insignificant whitespace, and
+// defaulted (zero-valued, omitempty) fields dropped. Two spec files that
+// parse to the same Spec — whatever their key order, indentation, or
+// explicitly-written default fields — canonicalize to the same bytes, so
+// the encoding is a content address for "the same experiment".
+//
+// The free-form Description is excluded: it is pure documentation, read
+// by nothing in the build/run path and absent from every output, so a
+// typo fix must not bust result caches keyed on the hash. Name stays in —
+// it prefixes output files and appears in the rendered result document,
+// so results for differently-named specs are genuinely different bytes.
+//
+// Typed numeric fields are normalized through their Go representation
+// ("1e2" and "100" for a duration are the same float64, hence the same
+// canonical bytes); numeric literals inside free-form generator params are
+// preserved digit-for-digit, never round-tripped through float64, so
+// full-precision uint64 values survive.
+func (s *Spec) CanonicalJSON() ([]byte, error) {
+	// Struct marshal first: applies omitempty (dropping defaults) and
+	// normalizes typed fields. The decode/re-encode pass then sorts object
+	// keys everywhere, including inside raw generator params; UseNumber
+	// keeps number literals verbatim instead of lossy float64.
+	c := *s
+	c.Description = ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing %s: %w", s.Name, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing %s: %w", s.Name, err)
+	}
+	out, err := json.Marshal(v) // map keys marshal in sorted order
+	if err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing %s: %w", s.Name, err)
+	}
+	return out, nil
+}
+
+// hashDomain separates spec hashes from any other SHA-256 use; bumping the
+// schema version changes every hash even for byte-identical field sets.
+const hashDomain = "scda.scenario/v%d\n"
+
+// Hash returns the spec's stable content address: "v<version>-" plus the
+// first 128 bits of the SHA-256 of the canonical JSON (domain-separated and
+// version-prefixed). Equal specs share a hash; any semantic change — the
+// seed included — produces a different one. The service uses it (together
+// with the replicate count) as the result-cache key, and `scda-sim -hash`
+// prints it.
+func (s *Spec) Hash() (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, hashDomain, Version)
+	h.Write(b)
+	return fmt.Sprintf("v%d-%x", Version, h.Sum(nil)[:16]), nil
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// specJSON builds a minimal valid spec document from a fragment of extra
+// top-level fields (empty or trailing-comma-free JSON snippet).
+func specJSON(extra string) string {
+	if extra != "" {
+		extra = ", " + extra
+	}
+	return `{
+		"version": 1,
+		"name": "canon-test",
+		"seed": 7,
+		"duration": 10,
+		"workload": [{"generator": "dc", "params": {"ArrivalRate": 2}}]` + extra + `}`
+}
+
+func mustParse(t *testing.T, doc string) *Spec {
+	t.Helper()
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustHash(t *testing.T, s *Spec) string {
+	t.Helper()
+	h, err := s.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCanonicalJSONNormalizesFormatting(t *testing.T) {
+	// Same spec, different key order, whitespace, and an explicit default
+	// (horizon 0 is the omitempty zero): identical canonical bytes.
+	a := mustParse(t, specJSON(`"topology": {"kind": "fig6", "x": 5e7, "k": 3}`))
+	b := mustParse(t, `{"workload":[{"params":{"ArrivalRate":2},"generator":"dc"}],
+		"duration":10,"horizon":0,"seed":7,"name":"canon-test","version":1,
+		"topology":{"k":3,"x":5e7,"kind":"fig6"}}`)
+	ca, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca) != string(cb) {
+		t.Fatalf("canonical bytes differ:\n%s\n%s", ca, cb)
+	}
+	if mustHash(t, a) != mustHash(t, b) {
+		t.Fatal("hashes differ for equal specs")
+	}
+}
+
+func TestCanonicalJSONDeterministic(t *testing.T) {
+	s := mustParse(t, specJSON(""))
+	first, err := s.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := s.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatal("canonicalization not deterministic")
+		}
+	}
+}
+
+func TestHashIgnoresDescription(t *testing.T) {
+	// Description is documentation, not experiment content: editing it
+	// must not bust result caches keyed on the hash.
+	a := mustParse(t, specJSON(`"description": "first draft"`))
+	b := mustParse(t, specJSON(`"description": "polished prose"`))
+	c := mustParse(t, specJSON(""))
+	if mustHash(t, a) != mustHash(t, b) || mustHash(t, a) != mustHash(t, c) {
+		t.Fatal("description edits change the hash")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := mustHash(t, mustParse(t, specJSON("")))
+	for name, doc := range map[string]string{
+		"seed":     `{"version":1,"name":"canon-test","seed":8,"duration":10,"workload":[{"generator":"dc","params":{"ArrivalRate":2}}]}`,
+		"duration": `{"version":1,"name":"canon-test","seed":7,"duration":11,"workload":[{"generator":"dc","params":{"ArrivalRate":2}}]}`,
+		"params":   `{"version":1,"name":"canon-test","seed":7,"duration":10,"workload":[{"generator":"dc","params":{"ArrivalRate":3}}]}`,
+		"system":   `{"version":1,"name":"canon-test","seed":7,"duration":10,"system":{"kind":"randtcp"},"workload":[{"generator":"dc","params":{"ArrivalRate":2}}]}`,
+	} {
+		if h := mustHash(t, mustParse(t, doc)); h == base {
+			t.Errorf("%s change did not change the hash", name)
+		}
+	}
+}
+
+func TestHashFullPrecisionSeed(t *testing.T) {
+	// Seeds above 2^53 must not collapse through float64: two adjacent
+	// full-width seeds hash differently.
+	a := mustParse(t, `{"version":1,"name":"canon-test","seed":18446744073709551615,"duration":10,"workload":[{"generator":"dc"}]}`)
+	b := mustParse(t, `{"version":1,"name":"canon-test","seed":18446744073709551614,"duration":10,"workload":[{"generator":"dc"}]}`)
+	if mustHash(t, a) == mustHash(t, b) {
+		t.Fatal("adjacent uint64 seeds share a hash (float64 round-trip?)")
+	}
+}
+
+func TestHashFormat(t *testing.T) {
+	h := mustHash(t, mustParse(t, specJSON("")))
+	if !strings.HasPrefix(h, "v1-") || len(h) != len("v1-")+32 {
+		t.Fatalf("hash %q not v1-<32 hex>", h)
+	}
+	for _, c := range h[len("v1-"):] {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("hash %q not lowercase hex", h)
+		}
+	}
+}

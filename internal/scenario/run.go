@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/export"
@@ -141,18 +143,51 @@ func (s *Spec) outputSeries() []string {
 	return []string{OutThroughput, OutFCTCDF, OutAFCT}
 }
 
+// RunCtx is Run with cooperative cancellation: the check happens before
+// the simulation starts, so a cancelled ctx costs nothing. One spec's
+// simulation is a single uninterruptible discrete-event run — cancellation
+// granularity for long work is the replicate boundary (see
+// RunReplicatedCtx), which keeps the determinism contract trivially intact:
+// a run either happens exactly as it always does, or not at all.
+func RunCtx(ctx context.Context, s *Spec) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Run(s)
+}
+
 // RunReplicated runs the spec at reps seeds derived from its own seed,
 // fanned out on the pool (nil = default), and aggregates series to mean ±
 // 95% CI curves and summaries to means with "_ci95" companions. reps <= 1
 // degenerates to a single Run.
 func RunReplicated(s *Spec, reps int, p *runner.Pool) (*Result, error) {
+	return RunReplicatedCtx(context.Background(), s, reps, p, nil)
+}
+
+// RunReplicatedCtx is RunReplicated with cooperative cancellation and
+// progress reporting. Once ctx is done no further replicate starts
+// (replicates already simulating run to completion) and the call returns
+// ctx.Err(). onRep, when non-nil, is invoked after each replicate finishes
+// with the number completed so far and the total — concurrently when the
+// pool is, so it must be safe to call from multiple goroutines. The
+// replicate seed stream is unchanged by either addition.
+func RunReplicatedCtx(ctx context.Context, s *Spec, reps int, p *runner.Pool, onRep func(done, total int)) (*Result, error) {
 	if reps <= 1 {
-		return Run(s)
+		r, err := RunCtx(ctx, s)
+		if err == nil && onRep != nil {
+			onRep(1, 1)
+		}
+		return r, err
 	}
-	runs, err := runner.Replicate(p, s.Seed, reps, func(rep int, seed uint64) (*Result, error) {
+	var done atomic.Int64
+	runs, err := runner.ReplicateCtx(ctx, p, s.Seed, reps, func(ctx context.Context, rep int, seed uint64) (*Result, error) {
 		variant := *s
 		variant.Seed = seed
-		return Run(&variant)
+		r, err := RunCtx(ctx, &variant)
+		if err == nil && onRep != nil {
+			onRep(int(done.Add(1)), reps)
+		}
+		return r, err
 	})
 	if err != nil {
 		return nil, err
@@ -165,6 +200,12 @@ func RunReplicated(s *Spec, reps int, p *runner.Pool) (*Result, error) {
 // pool so both axes fan out without nested Map calls. Results are in spec
 // order.
 func RunAll(specs []*Spec, reps int, p *runner.Pool) ([]*Result, error) {
+	return RunAllCtx(context.Background(), specs, reps, p)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation: once ctx is done no
+// further (scenario, replicate) cell starts and the call returns ctx.Err().
+func RunAllCtx(ctx context.Context, specs []*Spec, reps int, p *runner.Pool) ([]*Result, error) {
 	if reps <= 0 {
 		reps = 1
 	}
@@ -187,10 +228,10 @@ func RunAll(specs []*Spec, reps int, p *runner.Pool) ([]*Result, error) {
 			cells = append(cells, cell{spec: i, seed: seed})
 		}
 	}
-	flat, err := runner.Map(p, len(cells), func(i int) (*Result, error) {
+	flat, err := runner.MapCtx(ctx, p, len(cells), func(ctx context.Context, i int) (*Result, error) {
 		variant := *specs[cells[i].spec]
 		variant.Seed = cells[i].seed
-		return Run(&variant)
+		return RunCtx(ctx, &variant)
 	})
 	if err != nil {
 		return nil, err
@@ -276,7 +317,7 @@ func (r *Result) WriteFiles(dir string) ([]string, error) {
 	}
 	var paths []string
 	sumPath := filepath.Join(dir, r.Spec.Name+"-summary.csv")
-	if err := writeSummary(sumPath, r.Summary); err != nil {
+	if err := writeSummary(sumPath, r); err != nil {
 		return nil, err
 	}
 	paths = append(paths, sumPath)
@@ -287,13 +328,13 @@ func (r *Result) WriteFiles(dir string) ([]string, error) {
 		}
 		paths = append(paths, p)
 	}
-	if r.Spec.Outputs.Trace && r.reqs != nil {
+	if r.HasTrace() {
 		p := filepath.Join(dir, r.Spec.Name+"-trace.csv")
 		f, err := os.Create(p)
 		if err != nil {
 			return nil, err
 		}
-		err = workload.WriteTrace(f, r.reqs)
+		err = r.WriteTraceCSV(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -305,27 +346,52 @@ func (r *Result) WriteFiles(dir string) ([]string, error) {
 	return paths, nil
 }
 
-// writeSummary emits key,value rows in sorted key order.
-func writeSummary(path string, summary map[string]float64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// HasTrace reports whether the result carries a replayable workload trace:
+// the spec requested outputs.trace and the result is a single-seed run
+// (aggregated replicate results have no single trace).
+func (r *Result) HasTrace() bool {
+	return r.Spec.Outputs.Trace && r.reqs != nil
+}
+
+// WriteTraceCSV writes the replayable workload trace to w — the same bytes
+// WriteFiles puts in <name>-trace.csv. Callers must check HasTrace first;
+// a traceless result errors.
+func (r *Result) WriteTraceCSV(w io.Writer) error {
+	if !r.HasTrace() {
+		return fmt.Errorf("scenario %s: result carries no trace", r.Spec.Name)
 	}
-	defer f.Close()
-	cw := csv.NewWriter(f)
+	return workload.WriteTrace(w, r.reqs)
+}
+
+// WriteSummaryCSV writes the summary metrics to w as metric,value rows in
+// sorted key order — exactly the bytes WriteFiles puts in
+// <name>-summary.csv, so network callers (scda-serve's result endpoint)
+// can serve output byte-identical to the CLI's files.
+func (r *Result) WriteSummaryCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"metric", "value"}); err != nil {
 		return err
 	}
-	keys := make([]string, 0, len(summary))
-	for k := range summary {
+	keys := make([]string, 0, len(r.Summary))
+	for k := range r.Summary {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		if err := cw.Write([]string{k, strconv.FormatFloat(summary[k], 'g', -1, 64)}); err != nil {
+		if err := cw.Write([]string{k, strconv.FormatFloat(r.Summary[k], 'g', -1, 64)}); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// writeSummary emits the result's summary CSV at path.
+func writeSummary(path string, r *Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteSummaryCSV(f)
 }

@@ -1,0 +1,49 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServiceSubmitCached measures the cache hot path end to end over
+// HTTP: POST an already-cached spec and read the completed status back.
+// This is the million-user trajectory the service exists for — strict spec
+// parse, canonical hash, memory-cache Peek, response encode — with zero
+// simulation work. Recorded in BENCH_hotpath.json by scripts/bench.sh.
+func BenchmarkServiceSubmitCached(b *testing.B) {
+	svc := New(Config{Workers: 1, JobRunners: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Warm the cache with one real run.
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=true", "application/json", strings.NewReader(testSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup submit status %d", resp.StatusCode)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs?wait=true", "application/json", strings.NewReader(testSpec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("submit status %d", resp.StatusCode)
+		}
+		if !strings.Contains(string(body), `"cacheHit": true`) {
+			b.Fatalf("submission %d missed the cache: %s", i, body)
+		}
+	}
+}

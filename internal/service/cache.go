@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/export"
+	"repro/internal/scenario"
+)
+
+// artifacts is the rendered, immutable output of one completed run: a
+// small map of file name → bytes ("result.json", "summary.csv", one
+// "<kind>.csv" per requested series reduction). Rendering happens exactly
+// once, at completion, so cache hits — the million-user hot path — serve
+// pre-encoded bytes and repeated fetches of one job are byte-identical by
+// construction. The CSV artifacts share their encoders with
+// scenario.Result.WriteFiles, so they are also byte-identical to what
+// `scda-sim -scenario` writes for the same spec, seed and reps.
+type artifacts struct {
+	files map[string][]byte
+}
+
+// Artifact file names; the series CSVs are named "<kind>.csv" after the
+// scenario output kinds (throughput.csv, fct-cdf.csv, afct.csv).
+const (
+	artResult  = "result.json"
+	artSummary = "summary.csv"
+)
+
+// file returns the named artifact's bytes.
+func (a *artifacts) file(name string) ([]byte, bool) {
+	b, ok := a.files[name]
+	return b, ok
+}
+
+// resultWire is the JSON shape of the result endpoint's default document.
+type resultWire struct {
+	// Name, Seed, Replicates, Requests identify the run.
+	Name       string `json:"name"`
+	Seed       uint64 `json:"seed"`
+	Replicates int    `json:"replicates"`
+	Requests   int    `json:"requests"`
+	// Summary holds the headline metrics (replicated runs add _ci95 keys).
+	Summary map[string]float64 `json:"summary"`
+	// Groups carries the requested series reductions in spec order.
+	Groups []groupWire `json:"groups"`
+}
+
+// groupWire mirrors scenario.SeriesGroup.
+type groupWire struct {
+	// Kind is the reduction ("throughput", "fct-cdf", "afct").
+	Kind string `json:"kind"`
+	// XLabel / YLabel are the axis labels.
+	XLabel string `json:"xLabel"`
+	YLabel string `json:"yLabel"`
+	// Series holds one entry per system curve.
+	Series []seriesWire `json:"series"`
+}
+
+// seriesWire mirrors stats.Series.
+type seriesWire struct {
+	// Name labels the curve.
+	Name string `json:"name"`
+	// Points are [x, y] pairs.
+	Points [][2]float64 `json:"points"`
+	// YErr, when present, is the 95% CI half-width per point.
+	YErr []float64 `json:"yerr,omitempty"`
+}
+
+// render builds the artifacts for a completed result: the JSON document
+// plus the same CSV bytes the CLI writes.
+func render(r *scenario.Result, reps int) (*artifacts, error) {
+	a := &artifacts{files: make(map[string][]byte, len(r.Groups)+2)}
+
+	wire := resultWire{
+		Name:       r.Spec.Name,
+		Seed:       r.Spec.Seed,
+		Replicates: reps,
+		Requests:   r.Requests,
+		Summary:    r.Summary,
+		Groups:     make([]groupWire, 0, len(r.Groups)),
+	}
+	for _, g := range r.Groups {
+		gw := groupWire{Kind: g.Kind, XLabel: g.XLabel, YLabel: g.YLabel}
+		for _, s := range g.Series {
+			sw := seriesWire{Name: s.Name, Points: make([][2]float64, len(s.Points)), YErr: s.YErr}
+			for i, p := range s.Points {
+				sw.Points[i] = [2]float64{p.X, p.Y}
+			}
+			gw.Series = append(gw.Series, sw)
+		}
+		wire.Groups = append(wire.Groups, gw)
+	}
+	doc, err := json.MarshalIndent(wire, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("service: rendering result: %w", err)
+	}
+	a.files[artResult] = append(doc, '\n')
+
+	var sum bytes.Buffer
+	if err := r.WriteSummaryCSV(&sum); err != nil {
+		return nil, fmt.Errorf("service: rendering summary: %w", err)
+	}
+	a.files[artSummary] = sum.Bytes()
+
+	for _, g := range r.Groups {
+		var buf bytes.Buffer
+		if err := export.WriteSeriesLong(&buf, g.Series); err != nil {
+			return nil, fmt.Errorf("service: rendering %s: %w", g.Kind, err)
+		}
+		a.files[g.Kind+".csv"] = buf.Bytes()
+	}
+	if r.HasTrace() {
+		// outputs.trace parity with the CLI: single-seed runs carry the
+		// replayable workload trace as a fourth CSV (?csv=trace).
+		var buf bytes.Buffer
+		if err := r.WriteTraceCSV(&buf); err != nil {
+			return nil, fmt.Errorf("service: rendering trace: %w", err)
+		}
+		a.files["trace.csv"] = buf.Bytes()
+	}
+	return a, nil
+}
+
+// seriesKinds lists the series artifact names in a stable order for
+// discovery (status pages, tests).
+func (a *artifacts) seriesKinds() []string {
+	kinds := make([]string, 0, len(a.files))
+	for name := range a.files {
+		if name != artResult && name != artSummary && strings.HasSuffix(name, ".csv") {
+			kinds = append(kinds, strings.TrimSuffix(name, ".csv"))
+		}
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// save persists the artifacts under dir (one file per artifact), writing
+// into a temporary sibling directory and renaming so a crashed writer
+// never leaves a half-written cache entry. A concurrent winner is fine:
+// entries are content-addressed, so whoever renames first wrote the same
+// bytes.
+func (a *artifacts) save(dir string) error {
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(parent, ".tmp-"+filepath.Base(dir)+"-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	for name, b := range a.files {
+		if err := os.WriteFile(filepath.Join(tmp, name), b, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		if _, statErr := os.Stat(dir); statErr == nil {
+			return nil // another writer persisted the same content first
+		}
+		return err
+	}
+	return nil
+}
+
+// loadArtifacts reads a persisted cache entry back; ok is false when the
+// directory is absent or not a complete entry (no result.json).
+func loadArtifacts(dir string) (*artifacts, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, false
+	}
+	a := &artifacts{files: make(map[string][]byte, len(entries))}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, false
+		}
+		a.files[e.Name()] = b
+	}
+	if _, ok := a.files[artResult]; !ok {
+		return nil, false
+	}
+	return a, true
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs                submit a scenario spec (the body is the
+//	                               scenario JSON; query: reps, priority,
+//	                               wait=true to block until terminal)
+//	GET    /v1/jobs                list job statuses in submission order
+//	GET    /v1/jobs/{id}           one job's status
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	GET    /v1/jobs/{id}/result    the completed result: JSON by default,
+//	                               ?csv=summary|throughput|fct-cdf|afct for
+//	                               the CLI's byte-identical CSVs
+//	GET    /v1/jobs/{id}/events    NDJSON progress stream: full replay,
+//	                               then live until the job terminates
+//	GET    /healthz                liveness
+//	GET    /metrics                Prometheus text metrics
+//
+// Errors are JSON objects {"error": "..."} with conventional status codes
+// (400 invalid spec, 404 unknown job or path, 405 wrong method, 409
+// conflict with the job's state).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	return mux
+}
+
+// maxSpecBytes bounds a submitted spec body (1 MiB is orders of magnitude
+// above any real spec).
+const maxSpecBytes = 1 << 20
+
+// httpError writes the JSON error envelope.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v as a JSON response with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleHealthz answers liveness probes.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writeTo(w, s.pool.Workers(), s.cfg.JobRunners, s.CacheLen())
+}
+
+// handleJobs serves the collection: POST submits, GET lists.
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Jobs())
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on /v1/jobs", r.Method)
+	}
+}
+
+// handleSubmit parses the spec body and query knobs, submits, and answers
+// with the job status (201 for a fresh job, 200 when served from cache or
+// after ?wait=true).
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	reps, err := intParam(q.Get("reps"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reps: %v", err)
+		return
+	}
+	priority, err := intParam(q.Get("priority"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "priority: %v", err)
+		return
+	}
+	spec, err := scenario.Parse(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "spec body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.Submit(spec, reps, priority)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if q.Get("wait") == "true" {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			httpError(w, http.StatusRequestTimeout, "client went away while waiting for %s", j.ID)
+			return
+		}
+	}
+	st := j.Status()
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	code := http.StatusCreated
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// handleJob routes /v1/jobs/{id}[/result|/events].
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, j.Status())
+		case http.MethodDelete:
+			s.handleCancel(w, j)
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on a job", r.Method)
+		}
+	case "result":
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on a result", r.Method)
+			return
+		}
+		s.handleResult(w, r, j)
+	case "events":
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on an event stream", r.Method)
+			return
+		}
+		s.handleEvents(w, r, j)
+	default:
+		httpError(w, http.StatusNotFound, "no resource %q under job %s", sub, id)
+	}
+}
+
+// handleCancel cancels a job over the API.
+func (s *Service) handleCancel(w http.ResponseWriter, j *Job) {
+	cancelled, _ := s.Cancel(j.ID)
+	if !cancelled {
+		httpError(w, http.StatusConflict, "job %s already %s", j.ID, j.Status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleResult serves the completed result document or one of its CSVs.
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request, j *Job) {
+	art, ok := j.Artifacts()
+	if !ok {
+		httpError(w, http.StatusConflict, "job %s is %s; the result exists only once it is done", j.ID, j.Status().State)
+		return
+	}
+	name, contentType := artResult, "application/json"
+	if kind := r.URL.Query().Get("csv"); kind != "" {
+		name, contentType = kind+".csv", "text/csv; charset=utf-8"
+	}
+	b, ok := art.file(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %s has no %s artifact (have summary, %s)",
+			j.ID, name, strings.Join(art.seriesKinds(), ", "))
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.Write(b)
+}
+
+// handleEvents streams the job's events as NDJSON: a full replay first
+// (cheap — event logs are short and bounded by the replicate count), then
+// live events until the job reaches a terminal state or the client
+// disconnects. Each line is one Event; flushed per line so curl shows
+// progress as it happens.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	seen := 0
+	for {
+		evs, changed, terminal := j.eventsSince(seen)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		seen += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

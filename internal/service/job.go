@@ -1,0 +1,269 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// State is a job's lifecycle position. The machine is
+// queued → running → {done, failed, cancelled}; a queued job may also jump
+// straight to done (submit-time cache hit) or cancelled (DELETE before any
+// runner picked it up).
+type State string
+
+// The job states, in lifecycle order.
+const (
+	// StateQueued: accepted and waiting in the priority queue.
+	StateQueued State = "queued"
+	// StateRunning: a job runner is executing (or deduplicating) it.
+	StateRunning State = "running"
+	// StateDone: the result is available from the result endpoint.
+	StateDone State = "done"
+	// StateFailed: the run errored; Event.Error / the status carry why.
+	StateFailed State = "failed"
+	// StateCancelled: stopped by DELETE or service shutdown before a
+	// result was produced.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one NDJSON record on a job's event stream. Events carry no
+// wall-clock time, so a replayed stream is deterministic for a cached or
+// re-run job — sequence numbers order them.
+type Event struct {
+	// Seq numbers events from 1 within one job.
+	Seq int `json:"seq"`
+	// State is the job's state when the event fired.
+	State State `json:"state"`
+	// RepsDone / RepsTotal report replication progress.
+	RepsDone  int `json:"repsDone"`
+	RepsTotal int `json:"repsTotal"`
+	// CacheHit marks a terminal done event served without recomputation.
+	CacheHit bool `json:"cacheHit,omitempty"`
+	// Error carries the failure reason on a failed event.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one submitted scenario run moving through the service. The
+// identity fields are immutable after Submit; everything else is guarded
+// by mu and observed through Status and the event stream.
+type Job struct {
+	// ID is the service-assigned handle ("j000001", ...).
+	ID string
+	// Spec is the validated scenario (sweepless; see Service.Submit).
+	Spec *scenario.Spec
+	// Key is the result-cache key: spec hash × replicate count.
+	Key string
+	// Reps is the replicate count the result aggregates over.
+	Reps int
+	// Priority orders the queue; higher runs first, FIFO within a level.
+	Priority int
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	repsDone int
+	cacheHit bool
+	events   []Event
+	changed  chan struct{} // closed and replaced on every event
+	done     chan struct{} // closed once, on reaching a terminal state
+	cancel   context.CancelFunc
+	art      *artifacts
+}
+
+// Status is the wire snapshot of a job, served by the status and list
+// endpoints and returned from Submit.
+type Status struct {
+	// ID is the job handle; the job's URLs derive from it.
+	ID string `json:"id"`
+	// Name is the scenario name from the spec.
+	Name string `json:"name"`
+	// Key is the result-cache key (also `scda-sim -hash` plus the reps).
+	Key string `json:"key"`
+	// State is the current lifecycle state.
+	State State `json:"state"`
+	// Priority echoes the submit-time queue priority.
+	Priority int `json:"priority"`
+	// Reps / RepsDone report replication progress.
+	Reps     int `json:"reps"`
+	RepsDone int `json:"repsDone"`
+	// CacheHit reports whether the result was served without recomputation.
+	CacheHit bool `json:"cacheHit"`
+	// Error carries the failure reason for a failed job.
+	Error string `json:"error,omitempty"`
+}
+
+func newJob(id string, spec *scenario.Spec, key string, reps, priority int) *Job {
+	j := &Job{
+		ID:       id,
+		Spec:     spec,
+		Key:      key,
+		Reps:     reps,
+		Priority: priority,
+		state:    StateQueued,
+		changed:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	j.emitLocked() // the initial queued event
+	return j
+}
+
+// Status returns a consistent snapshot.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:       j.ID,
+		Name:     j.Spec.Name,
+		Key:      j.Key,
+		State:    j.state,
+		Priority: j.Priority,
+		Reps:     j.Reps,
+		RepsDone: j.repsDone,
+		CacheHit: j.cacheHit,
+		Error:    j.err,
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// terminal reports whether the job has reached a terminal state, without
+// building a full Status snapshot.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// Artifacts returns the rendered result files once the job is done.
+func (j *Job) Artifacts() (*artifacts, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.art == nil {
+		return nil, false
+	}
+	return j.art, true
+}
+
+// emitLocked appends an event reflecting the current state and wakes
+// stream watchers. Callers hold j.mu.
+func (j *Job) emitLocked() {
+	j.events = append(j.events, Event{
+		Seq:       len(j.events) + 1,
+		State:     j.state,
+		RepsDone:  j.repsDone,
+		RepsTotal: j.Reps,
+		CacheHit:  j.cacheHit && j.state == StateDone,
+		Error:     j.err,
+	})
+	close(j.changed)
+	j.changed = make(chan struct{})
+	if j.state.Terminal() {
+		close(j.done)
+	}
+}
+
+// eventsSince returns the events after fromSeq, the channel that signals
+// the next change, and whether the job has terminated — the polling
+// primitive behind the NDJSON stream (replay then wait, no subscriber
+// bookkeeping, no dropped events).
+func (j *Job) eventsSince(fromSeq int) (evs []Event, changed <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if fromSeq < len(j.events) {
+		evs = append(evs, j.events[fromSeq:]...)
+	}
+	return evs, j.changed, j.state.Terminal()
+}
+
+// begin moves queued → running and installs the cancel hook; it fails if
+// the job was cancelled while waiting in the queue.
+func (j *Job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.emitLocked()
+	return true
+}
+
+// progress records done completed replicates.
+func (j *Job) progress(done int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || done <= j.repsDone {
+		return
+	}
+	j.repsDone = done
+	j.emitLocked()
+}
+
+// complete moves the job to done with the rendered artifacts.
+func (j *Job) complete(art *artifacts, cacheHit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateDone
+	j.art = art
+	j.cacheHit = cacheHit
+	j.repsDone = j.Reps
+	j.emitLocked()
+}
+
+// fail moves the job to failed with the error message.
+func (j *Job) fail(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateFailed
+	j.err = msg
+	j.emitLocked()
+}
+
+// requestCancel asks the job to stop: a queued job cancels immediately
+// (fromQueued reports that, so the caller can account for the terminal
+// transition no runner will see), a running job has its context cancelled
+// (taking effect at the next replicate boundary). ok is false —
+// cancellation impossible — for a job already in a terminal state.
+func (j *Job) requestCancel() (ok, fromQueued bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.emitLocked()
+		return true, true
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// finishCancelled marks a running job cancelled after its context fired.
+func (j *Job) finishCancelled() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateCancelled
+	j.emitLocked()
+}

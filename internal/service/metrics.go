@@ -1,0 +1,52 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics is the service's dependency-free instrumentation: a handful of
+// atomic counters and gauges rendered in the Prometheus text exposition
+// format by writeTo. No client library — the format is six lines of
+// fmt.Fprintf per family, and keeping the module stdlib-only is a design
+// constraint.
+type metrics struct {
+	jobsQueued    atomic.Int64 // gauge: jobs waiting in the priority queue
+	jobsRunning   atomic.Int64 // gauge: jobs currently executing (== busy runners, one job per runner)
+	doneOK        atomic.Int64 // counter: jobs that reached state done
+	doneFailed    atomic.Int64 // counter: jobs that reached state failed
+	doneCancelled atomic.Int64 // counter: jobs that reached state cancelled
+	cacheHits     atomic.Int64 // counter: results served without recomputation
+	cacheMisses   atomic.Int64 // counter: results computed fresh
+}
+
+// writeTo renders the exposition text. The non-counter arguments are
+// point-in-time gauges owned by the Service (pool width, runner count,
+// cache size) rather than the metrics struct.
+func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries int) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("scda_jobs_queued", "Jobs waiting in the priority queue.", m.jobsQueued.Load())
+	gauge("scda_jobs_running", "Jobs currently executing.", m.jobsRunning.Load())
+
+	fmt.Fprintf(w, "# HELP scda_jobs_done_total Jobs that reached a terminal state, by state.\n")
+	fmt.Fprintf(w, "# TYPE scda_jobs_done_total counter\n")
+	fmt.Fprintf(w, "scda_jobs_done_total{state=\"done\"} %d\n", m.doneOK.Load())
+	fmt.Fprintf(w, "scda_jobs_done_total{state=\"failed\"} %d\n", m.doneFailed.Load())
+	fmt.Fprintf(w, "scda_jobs_done_total{state=\"cancelled\"} %d\n", m.doneCancelled.Load())
+
+	counter("scda_cache_hits_total", "Results served from the cache (memory, disk, or an in-flight duplicate).", m.cacheHits.Load())
+	counter("scda_cache_misses_total", "Results computed fresh.", m.cacheMisses.Load())
+	gauge("scda_cache_entries", "Completed or in-flight entries in the in-memory result cache.", int64(cacheEntries))
+
+	// One job per runner, so busy runners == running jobs; the family is
+	// exported under the operator-facing name without duplicating state.
+	gauge("scda_job_runners", "Job runner goroutines (the job-level concurrency bound).", int64(jobRunners))
+	gauge("scda_job_runners_busy", "Job runners currently executing a job; busy/total is worker utilization.", m.jobsRunning.Load())
+	gauge("scda_pool_workers", "Replicate fan-out pool width shared by all jobs.", int64(poolWorkers))
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// jobQueue is the priority-ordered submission queue: Pop returns the
+// highest-priority waiting job, FIFO within a priority level (ordered by
+// submission sequence), and blocks while the queue is empty. Close wakes
+// every blocked Pop; a closed queue's Pop reports ok=false immediately so
+// runner goroutines drain out during shutdown (the Service cancels the
+// still-queued jobs itself).
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  queueHeap
+	seq    uint64
+	closed bool
+}
+
+// newJobQueue returns an empty open queue.
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job, reporting false when the queue has been closed so
+// the caller can cancel the job instead of orphaning it.
+func (q *jobQueue) Push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.seq++
+	heap.Push(&q.items, queued{job: j, seq: q.seq})
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks until a job is available or the queue is closed.
+func (q *jobQueue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	it := heap.Pop(&q.items).(queued)
+	return it.job, true
+}
+
+// Remove deletes the job's entry from the heap, if present, so a job
+// cancelled while queued releases its memory immediately instead of
+// lingering as a dead entry until a runner pops it. O(n) scan — fine for
+// a cancel path.
+func (q *jobQueue) Remove(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.items {
+		if q.items[i].job == j {
+			heap.Remove(&q.items, i)
+			return
+		}
+	}
+}
+
+// Close marks the queue closed, wakes all blocked Pops, and returns the
+// jobs still waiting (in pop order) so the caller can cancel them.
+func (q *jobQueue) Close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	rest := make([]*Job, 0, len(q.items))
+	for len(q.items) > 0 {
+		rest = append(rest, heap.Pop(&q.items).(queued).job)
+	}
+	q.cond.Broadcast()
+	return rest
+}
+
+// Len reports the waiting-job count.
+func (q *jobQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// queued is one heap entry: the job plus its submission sequence number,
+// which breaks priority ties first-come-first-served.
+type queued struct {
+	job *Job
+	seq uint64
+}
+
+// queueHeap orders by descending priority, then ascending sequence.
+type queueHeap []queued
+
+// Len implements heap.Interface.
+func (h queueHeap) Len() int { return len(h) }
+
+// Less implements heap.Interface: higher priority first, then FIFO.
+func (h queueHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+// Swap implements heap.Interface.
+func (h queueHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *queueHeap) Push(x any) { *h = append(*h, x.(queued)) }
+
+// Pop implements heap.Interface.
+func (h *queueHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,443 @@
+// Package service turns the one-shot scenario runner into a resident
+// simulation service: the subsystem behind the scda-serve binary. Clients
+// POST declarative scenario specs (the internal/scenario wire format,
+// strictly parsed and validated); the service queues them by priority,
+// executes them over a bounded runner.Pool with per-job replication, and
+// serves status, results (JSON or the CLI's byte-identical CSVs) and an
+// NDJSON progress stream per job, plus /healthz and Prometheus-text
+// /metrics for operators.
+//
+// The core of the design is the content-addressed result cache: jobs are
+// keyed by the canonical spec hash (scenario.Spec.Hash) × replicate count,
+// deduplicated through runner.Group singleflight — concurrent identical
+// submissions share one computation, later ones are served from memory (or
+// the optional disk layer) without recomputation. Because scenario runs are
+// deterministic, a cache hit is indistinguishable from a fresh run byte for
+// byte, which is what makes caching sound.
+//
+// Everything is stdlib: net/http for the API, container/heap for the
+// queue, crypto/sha256 (via scenario) for the addresses.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// Config sizes the service; the zero value is usable.
+type Config struct {
+	// Workers is the replicate fan-out pool width shared by all running
+	// jobs (0 = GOMAXPROCS).
+	Workers int
+	// JobRunners is the number of jobs executing concurrently (0 = 2).
+	JobRunners int
+	// CacheDir enables the disk cache layer under that directory
+	// (one subdirectory per cache key); "" keeps the cache memory-only.
+	CacheDir string
+	// DefaultReps is the replicate count when a submission omits ?reps
+	// (0 = 1).
+	DefaultReps int
+	// MaxReps bounds per-job replication (0 = 64).
+	MaxReps int
+	// JobHistory bounds the job ledger (0 = 4096): once exceeded, the
+	// oldest *terminal* jobs are forgotten — their IDs 404 — so a
+	// resident service under sustained traffic holds bounded memory.
+	// Active jobs are never evicted, and results live on in the
+	// content-addressed cache regardless.
+	JobHistory int
+	// CacheEntries bounds the in-memory result cache (0 = 1024): beyond
+	// it, the oldest completed entries are evicted FIFO. An evicted
+	// result is recomputed on resubmission — or reloaded from the disk
+	// layer when CacheDir is set, which is unbounded by design (disk is
+	// cheap, rendered results are small).
+	CacheEntries int
+}
+
+// Service is the resident simulation service. Create with New, expose
+// with Handler, stop with Close.
+type Service struct {
+	cfg   Config
+	pool  *runner.Pool
+	queue *jobQueue
+	group *runner.Group[string, *artifacts]
+	met   metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for the list endpoint
+	nextID int
+
+	cacheMu   sync.Mutex
+	cacheKeys []string // completed-entry FIFO backing CacheEntries eviction
+	cacheSeen map[string]bool
+
+	base       context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+// New starts a service: JobRunners goroutines consuming the queue over a
+// Workers-wide replicate pool.
+func New(cfg Config) *Service {
+	if cfg.JobRunners <= 0 {
+		cfg.JobRunners = 2
+	}
+	if cfg.DefaultReps <= 0 {
+		cfg.DefaultReps = 1
+	}
+	if cfg.MaxReps <= 0 {
+		cfg.MaxReps = 64
+	}
+	if cfg.DefaultReps > cfg.MaxReps {
+		// A default above the cap would turn every ?reps-less submission
+		// into a client-visible 400 for a server-side misconfiguration.
+		cfg.DefaultReps = cfg.MaxReps
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 4096
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1024
+	}
+	s := &Service{
+		cfg:       cfg,
+		pool:      runner.New(cfg.Workers),
+		queue:     newJobQueue(),
+		group:     runner.NewGroup[string, *artifacts](),
+		jobs:      make(map[string]*Job),
+		cacheSeen: make(map[string]bool),
+	}
+	s.base, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.JobRunners; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runLoop()
+		}()
+	}
+	return s
+}
+
+// Close shuts the service down gracefully: the queue stops accepting,
+// still-queued jobs are cancelled, running jobs are cancelled at their
+// next replicate boundary, and Close returns once every runner goroutine
+// has exited. Idempotent.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		for _, j := range s.queue.Close() {
+			s.cancelJob(j)
+		}
+		s.baseCancel()
+		s.wg.Wait()
+	})
+}
+
+// ErrSweep rejects specs with a sweep block: one job is one run, so sweep
+// variants must be expanded client-side and submitted individually (they
+// cache independently anyway).
+var ErrSweep = errors.New("service: spec has a sweep; expand it and submit each variant as its own job")
+
+// Submit validates and enqueues a scenario for execution with reps
+// replicate seeds at the given queue priority, returning the job handle
+// immediately. If the result cache already holds this (spec, reps) the job
+// is born done — the submit path never recomputes known results.
+func (s *Service) Submit(spec *scenario.Spec, reps, priority int) (*Job, error) {
+	if spec.Sweep != nil {
+		return nil, ErrSweep
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if reps <= 0 {
+		reps = s.cfg.DefaultReps
+	}
+	if reps > s.cfg.MaxReps {
+		return nil, fmt.Errorf("service: reps %d exceeds the limit %d", reps, s.cfg.MaxReps)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s-r%d", hash, reps)
+
+	// Cache probe before publication (and before s.mu — the disk layer
+	// does file I/O): memory first, then the disk layer, which seeds the
+	// memory cache so restarted or memory-evicted results are served at
+	// submit time instead of queueing behind running jobs.
+	art, hit := s.group.Peek(key)
+	if !hit {
+		if dir, ok := s.cacheEntryDir(key); ok {
+			if a, ok := loadArtifacts(dir); ok {
+				if s.group.Add(key, a) {
+					s.recordCacheKey(key)
+				}
+				// Re-read: whichever value won the install races.
+				art, hit = s.group.Peek(key)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(id, spec, key, reps, priority)
+	if hit {
+		// Cache fast path: the job is born done *before* it is published
+		// in s.jobs, so no DELETE can race its accounting.
+		s.met.cacheHits.Add(1)
+		s.met.doneOK.Add(1)
+		j.complete(art, true)
+	} else {
+		// Counted while still unpublished for the same reason: a cancel
+		// arriving right after publication must find the gauge already
+		// incremented before it decrements.
+		s.met.jobsQueued.Add(1)
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	if hit {
+		return j, nil
+	}
+	if !s.queue.Push(j) {
+		// Shutdown raced the submit; the job is born cancelled rather
+		// than orphaned in a queue nobody will drain.
+		s.cancelJob(j)
+	}
+	return j, nil
+}
+
+// cancelJob requests cancellation and, when the job leaves the lifecycle
+// straight from the queue (no runner will ever see it), settles the
+// accounting: the cancelled-terminal counter and the queue-depth gauge.
+// Every cancellation path — DELETE, shutdown, a submit racing Close —
+// funnels through here so the two stay consistent.
+func (s *Service) cancelJob(j *Job) bool {
+	ok, fromQueued := j.requestCancel()
+	if ok && fromQueued {
+		s.met.doneCancelled.Add(1)
+		s.met.jobsQueued.Add(-1)
+		// Drop the dead heap entry now: under submit+cancel churn with
+		// busy runners it would otherwise pin the job (and its spec)
+		// until a runner drained it, defeating the residency bounds.
+		s.queue.Remove(j)
+	}
+	return ok
+}
+
+// pruneLocked evicts the oldest terminal jobs while the ledger exceeds
+// JobHistory. Caller holds s.mu; active jobs are skipped, so the ledger
+// may transiently exceed the bound when everything old is still running.
+// The common saturated case — oldest entries already terminal — is O(1)
+// per submit: drop from the front by reslicing, no ledger rebuild.
+func (s *Service) pruneLocked() {
+	over := len(s.order) - s.cfg.JobHistory
+	if over <= 0 {
+		return
+	}
+	// The newest entry is the job the current Submit is publishing and is
+	// never evicted: a born-done cache hit must not 404 before its client
+	// even receives the ID (reachable when everything older is active).
+	last := len(s.order) - 1
+	front := 0
+	for over > 0 && front < last && s.jobs[s.order[front]].terminal() {
+		delete(s.jobs, s.order[front])
+		front++
+		over--
+	}
+	s.order = s.order[front:]
+	if over <= 0 {
+		return
+	}
+	// Rare path: something old is still active. Compact around it, bulk-
+	// appending the untouched tail (always including the newest entry)
+	// once the excess is gone.
+	kept := s.order[:0]
+	for i, id := range s.order {
+		if over == 0 || i == len(s.order)-1 {
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		if s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns status snapshots of every job in submission order.
+func (s *Service) Jobs() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel stops the identified job: immediately if queued, at the next
+// replicate boundary if running. The second return reports whether the
+// job existed; the first whether cancellation was possible (false once
+// terminal).
+func (s *Service) Cancel(id string) (cancelled, found bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return false, false
+	}
+	return s.cancelJob(j), true
+}
+
+// runLoop is one job-runner goroutine: pop, execute, repeat until the
+// queue closes.
+func (s *Service) runLoop() {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one popped job through the singleflight cache.
+func (s *Service) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.base)
+	defer cancel()
+	if !j.begin(cancel) {
+		return // cancelled while queued; cancelJob already accounted for it
+	}
+	// The queue-depth gauge tracks jobs in the queued *state*, so the
+	// decrement belongs to the state transition, not the heap pop — a
+	// cancelled job's dead heap entry must not linger in the gauge.
+	s.met.jobsQueued.Add(-1)
+	s.met.jobsRunning.Add(1)
+	defer s.met.jobsRunning.Add(-1)
+
+	var art *artifacts
+	var err error
+	computed, diskHit := false, false
+	for {
+		computed, diskHit = false, false
+		art, err = s.group.Do(j.Key, func() (*artifacts, error) {
+			computed = true
+			if dir, ok := s.cacheEntryDir(j.Key); ok {
+				if a, ok := loadArtifacts(dir); ok {
+					diskHit = true
+					return a, nil
+				}
+			}
+			r, runErr := scenario.RunReplicatedCtx(ctx, j.Spec, j.Reps, s.pool, func(done, total int) {
+				j.progress(done)
+			})
+			if runErr != nil {
+				return nil, runErr
+			}
+			a, renderErr := render(r, j.Reps)
+			if renderErr != nil {
+				return nil, renderErr
+			}
+			if dir, ok := s.cacheEntryDir(j.Key); ok {
+				// Persistence is best-effort: a failed write degrades the
+				// disk layer, never the response.
+				_ = a.save(dir)
+			}
+			return a, nil
+		})
+		if err != nil && !computed && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// We joined another job's flight and its owner was cancelled;
+			// the errored call is forgotten, so run it ourselves.
+			continue
+		}
+		break
+	}
+
+	if err == nil && computed {
+		// Register the memoized entry with the eviction FIFO regardless of
+		// how this job ends (a cancel racing completion still caches the
+		// result), or the CacheEntries bound would leak untracked entries.
+		s.recordCacheKey(j.Key)
+	}
+	switch {
+	case err == nil && ctx.Err() != nil:
+		// The cancel request raced result availability (the last replicate
+		// was already simulating, or this job had joined another job's
+		// flight, which nothing interrupts). The DELETE was acknowledged,
+		// so honor it: the result stays cached for future submissions, but
+		// this job reports cancelled, not done.
+		s.met.doneCancelled.Add(1)
+		j.finishCancelled()
+	case err == nil:
+		if computed && !diskHit {
+			s.met.cacheMisses.Add(1)
+		} else {
+			s.met.cacheHits.Add(1)
+		}
+		s.met.doneOK.Add(1)
+		j.complete(art, !computed || diskHit)
+	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+		s.met.doneCancelled.Add(1)
+		j.finishCancelled()
+	default:
+		s.met.doneFailed.Add(1)
+		j.fail(err.Error())
+	}
+}
+
+// recordCacheKey notes a freshly completed memory-cache entry and evicts
+// the oldest entries beyond the CacheEntries bound, so distinct-spec
+// traffic (sweep variants, fuzzed seeds) cannot grow the resident set
+// without limit. Keys re-enter the FIFO if recomputed after eviction.
+func (s *Service) recordCacheKey(key string) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.cacheSeen[key] {
+		return
+	}
+	s.cacheSeen[key] = true
+	s.cacheKeys = append(s.cacheKeys, key)
+	for len(s.cacheKeys) > s.cfg.CacheEntries {
+		old := s.cacheKeys[0]
+		s.cacheKeys = s.cacheKeys[1:]
+		delete(s.cacheSeen, old)
+		s.group.Forget(old)
+	}
+}
+
+// cacheEntryDir returns the disk-cache directory for key, ok=false when
+// the disk layer is disabled.
+func (s *Service) cacheEntryDir(key string) (string, bool) {
+	if s.cfg.CacheDir == "" {
+		return "", false
+	}
+	return filepath.Join(s.cfg.CacheDir, key), true
+}
+
+// CacheLen reports the number of completed or in-flight cache entries in
+// memory.
+func (s *Service) CacheLen() int { return s.group.Len() }

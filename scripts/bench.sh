@@ -7,10 +7,12 @@
 #
 # The micro-benchmarks (BenchmarkEventLoop, BenchmarkMaxMinRates,
 # BenchmarkPacketForwarding, BenchmarkFluid1000Flows) measure the three hot
-# layers in isolation; BenchmarkAllFiguresSerial is the end-to-end figure
-# suite at bench scale. Compare a fresh run against the committed JSON:
-# ns/op regressions > ~20% or any B/op growth on the 0-alloc benchmarks
-# deserve a look before merging.
+# layers in isolation; BenchmarkServiceSubmitCached is the scda-serve
+# cache hot path (HTTP submit of an already-cached spec, no simulation);
+# BenchmarkAllFiguresSerial is the end-to-end figure suite at bench scale.
+# Compare a fresh run against the committed JSON: ns/op regressions > ~20%
+# or any B/op growth on the 0-alloc benchmarks deserve a look before
+# merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,8 +21,8 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkPacketForwarding|BenchmarkFluid1000Flows' \
-    -benchmem ./internal/sim ./internal/flowsim ./internal/netsim | tee "$tmp"
+    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached' \
+    -benchmem ./internal/sim ./internal/flowsim ./internal/netsim ./internal/service | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkAllFiguresSerial' -benchtime=1x -benchmem . | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go env GOVERSION)" '

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# service-smoke.sh — end-to-end smoke test of scda-serve against the CLI.
+#
+# Builds both binaries, runs scda-sim -scenario scenarios/paper-fig6.json
+# to produce the reference CSVs, then starts the service, submits the same
+# spec over HTTP, polls the job to completion, and diffs every result CSV
+# against the CLI's files byte for byte. Finally re-submits the spec and
+# checks the second job is a cache hit and the metrics endpoint recorded
+# it. CI runs this as the service-smoke job; it needs only curl, sed and
+# diff beyond the go toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+spec=scenarios/paper-fig6.json
+name=paper-fig6
+addr=127.0.0.1:18080
+base="http://$addr"
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$tmp/scda-serve" ./cmd/scda-serve
+go build -o "$tmp/scda-sim" ./cmd/scda-sim
+
+echo "== reference run: scda-sim -scenario $spec"
+"$tmp/scda-sim" -scenario "$spec" -out "$tmp/cli" >/dev/null
+
+echo "== starting scda-serve on $addr"
+"$tmp/scda-serve" -addr "$addr" -jobs 1 -cache-dir "$tmp/cache" &
+pid=$!
+for _ in $(seq 50); do
+    curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$base/healthz" >/dev/null
+
+echo "== submitting $spec"
+resp="$(curl -fsS -X POST --data-binary @"$spec" "$base/v1/jobs")"
+id="$(printf '%s' "$resp" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$id" ] || { echo "no job id in response: $resp"; exit 1; }
+echo "   job $id"
+
+echo "== polling to completion"
+state=""
+for _ in $(seq 240); do
+    state="$(curl -fsS "$base/v1/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "job ended $state"; curl -fsS "$base/v1/jobs/$id"; exit 1 ;;
+    esac
+    sleep 0.5
+done
+[ "$state" = done ] || { echo "job still '$state' after timeout"; exit 1; }
+
+echo "== diffing service CSVs against CLI files"
+for kind in summary throughput fct-cdf afct; do
+    curl -fsS "$base/v1/jobs/$id/result?csv=$kind" > "$tmp/srv-$kind.csv"
+    diff "$tmp/cli/$name-$kind.csv" "$tmp/srv-$kind.csv" \
+        || { echo "MISMATCH: $kind differs between service and CLI"; exit 1; }
+done
+
+echo "== re-submitting: must be a cache hit"
+resp2="$(curl -fsS -X POST --data-binary @"$spec" "$base/v1/jobs?wait=true")"
+printf '%s' "$resp2" | grep -q '"cacheHit": *true' \
+    || { echo "second submission was not a cache hit: $resp2"; exit 1; }
+
+echo "== checking metrics"
+curl -fsS "$base/metrics" | grep -E '^scda_cache_hits_total [1-9]' >/dev/null \
+    || { echo "metrics did not record the cache hit"; exit 1; }
+
+echo "service smoke OK"
