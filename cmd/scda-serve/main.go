@@ -6,18 +6,31 @@
 //
 //	scda-serve [-addr :8080] [-workers 0] [-jobs 2] [-cache-dir DIR]
 //	           [-default-reps 1] [-max-reps 64]
+//	           [-job-history 4096] [-group-history 4096]
+//	           [-cache-entries 1024] [-cache-max-entries 4096]
+//	           [-cache-max-bytes 1073741824] [-max-group-variants 256]
 //
 //	# submit a scenario and watch it run
 //	curl -X POST --data-binary @scenarios/flash-crowd.json localhost:8080/v1/jobs
 //	curl localhost:8080/v1/jobs/j000001/events
 //	curl localhost:8080/v1/jobs/j000001/result?csv=summary
 //
+//	# submit a whole sweep as one job group and fetch the aggregate CSV
+//	curl -X POST --data-binary @scenarios/power-save.json localhost:8080/v1/groups
+//	curl localhost:8080/v1/groups/g000001/events
+//	curl localhost:8080/v1/groups/g000001/result?csv=summary
+//
 // Results are cached by canonical spec hash × replicate count (see
 // `scda-sim -hash`): identical submissions are served without
 // recomputation and are byte-identical to `scda-sim -scenario` output for
-// the same spec. -cache-dir persists results across restarts. SIGINT or
-// SIGTERM shuts down gracefully: in-flight jobs stop at their next
-// replicate boundary, queued jobs are cancelled.
+// the same spec. A sweep spec POSTed to /v1/groups expands server-side;
+// each variant is an ordinary cached job and the group result CSV is the
+// variants' CSVs concatenated in expansion order, byte-identical to
+// `scda-bench -scenario-dir` files. -cache-dir persists results across
+// restarts, bounded by -cache-max-entries and -cache-max-bytes with
+// oldest-first eviction. SIGINT or SIGTERM shuts down gracefully:
+// in-flight jobs stop at their next replicate boundary, queued jobs are
+// cancelled.
 package main
 
 import (
@@ -48,14 +61,26 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist results under this directory (empty = memory-only cache)")
 	defaultReps := flag.Int("default-reps", 1, "replicates when a submission omits ?reps")
 	maxReps := flag.Int("max-reps", 64, "upper bound on per-job replicates")
+	jobHistory := flag.Int("job-history", 0, "terminal jobs kept in the ledger (0 = 4096)")
+	groupHistory := flag.Int("group-history", 0, "total variants kept across terminal job groups (0 = 4096)")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = 1024)")
+	cacheMaxEntries := flag.Int("cache-max-entries", 0, "disk cache entry bound, oldest-first eviction (0 = 4096, negative = unbounded)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "disk cache byte bound, oldest-first eviction (0 = 1 GiB, negative = unbounded)")
+	maxGroupVariants := flag.Int("max-group-variants", 0, "variants one group submission may expand to (0 = 256)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:     *workers,
-		JobRunners:  *jobs,
-		CacheDir:    *cacheDir,
-		DefaultReps: *defaultReps,
-		MaxReps:     *maxReps,
+		Workers:          *workers,
+		JobRunners:       *jobs,
+		CacheDir:         *cacheDir,
+		DefaultReps:      *defaultReps,
+		MaxReps:          *maxReps,
+		JobHistory:       *jobHistory,
+		GroupHistory:     *groupHistory,
+		CacheEntries:     *cacheEntries,
+		CacheMaxEntries:  *cacheMaxEntries,
+		CacheMaxBytes:    *cacheMaxBytes,
+		MaxGroupVariants: *maxGroupVariants,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -23,9 +23,11 @@
 //
 //	scda-sim -hash PATH...
 //	    print the stable content hash of each spec (files, or directories
-//	    of *.json). scda-serve caches results under this hash suffixed
-//	    with the replicate count ("<hash>-r<reps>"), so operators can
-//	    predict cache hits and locate cache directories.
+//	    of *.json), expanding sweeps to one line per variant. scda-serve
+//	    caches results under this hash suffixed with the replicate count
+//	    ("<hash>-r<reps>") — a sweep submitted as a job group caches one
+//	    entry per variant — so operators can predict cache hits and
+//	    locate cache directories.
 //
 // Workload names come from the generator registry; see scenarios/README.md
 // for the scenario spec reference.
@@ -210,7 +212,10 @@ func runValidate(args []string, scenarioFile string) {
 
 // runHash prints "<hash>  <name>  <path>" for every spec in the given
 // files/directories. scda-serve's cache key (and disk-cache directory
-// name) is this hash plus a "-r<reps>" replicate-count suffix.
+// name) is this hash plus a "-r<reps>" replicate-count suffix. A spec
+// with a sweep prints one line per expanded variant — the variants are
+// what scda-serve actually caches when the spec is submitted as a job
+// group, so the printed hashes match the group's child cache keys.
 func runHash(args []string, scenarioFile string) {
 	if scenarioFile != "" {
 		args = append([]string{scenarioFile}, args...)
@@ -226,13 +231,21 @@ func runHash(args []string, scenarioFile string) {
 			bad++
 			return
 		}
-		h, err := s.Hash()
+		variants, err := s.Expand()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
 			bad++
 			return
 		}
-		fmt.Printf("%s  %-24s %s\n", h, s.Name, path)
+		for _, v := range variants {
+			h, err := v.Hash()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scda-sim: %v\n", err)
+				bad++
+				return
+			}
+			fmt.Printf("%s  %-24s %s\n", h, v.Name, path)
+		}
 	})
 	if bad > 0 {
 		fail("%d unhashable spec(s)", bad)

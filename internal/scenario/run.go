@@ -322,9 +322,17 @@ func (r *Result) WriteFiles(dir string) ([]string, error) {
 	}
 	paths = append(paths, sumPath)
 	for _, g := range r.Groups {
-		p, err := export.SaveSeries(dir, r.Spec.Name+"-"+g.Kind, g.Series)
+		p := filepath.Join(dir, r.Spec.Name+"-"+g.Kind+".csv")
+		f, err := os.Create(p)
 		if err != nil {
 			return nil, err
+		}
+		err = r.WriteSeriesCSV(f, g.Kind)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: writing %s: %w", p, err)
 		}
 		paths = append(paths, p)
 	}
@@ -361,6 +369,23 @@ func (r *Result) WriteTraceCSV(w io.Writer) error {
 		return fmt.Errorf("scenario %s: result carries no trace", r.Spec.Name)
 	}
 	return workload.WriteTrace(w, r.reqs)
+}
+
+// WriteSeriesCSV writes the named series reduction (throughput, fct-cdf,
+// afct) to w in long format — exactly the bytes WriteFiles puts in
+// <name>-<kind>.csv. It is the single series encoder shared by the CLIs
+// and the service layer, which is what makes "a served CSV is
+// byte-identical to the CLI's file" (including a job group's concatenated
+// sweep CSV versus `scda-bench -scenario-dir` output) true by
+// construction rather than by test alone. A kind the result does not
+// carry errors.
+func (r *Result) WriteSeriesCSV(w io.Writer, kind string) error {
+	for _, g := range r.Groups {
+		if g.Kind == kind {
+			return export.WriteSeriesLong(w, g.Series)
+		}
+	}
+	return fmt.Errorf("scenario %s: result carries no %s series", r.Spec.Name, kind)
 }
 
 // WriteSummaryCSV writes the summary metrics to w as metric,value rows in

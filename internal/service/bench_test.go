@@ -47,3 +47,44 @@ func BenchmarkServiceSubmitCached(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServiceGroupSubmitCached measures the group cache hot path end
+// to end over HTTP: POST an already-cached sweep spec to /v1/groups and
+// read the born-done group status back. Per iteration that is one strict
+// parse, a server-side sweep expansion, and one hash + memory-cache Peek
+// per variant — zero simulation work. Recorded in BENCH_hotpath.json by
+// scripts/bench.sh.
+func BenchmarkServiceGroupSubmitCached(b *testing.B) {
+	svc := New(Config{Workers: 1, JobRunners: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Warm the cache with one real run of every variant.
+	resp, err := http.Post(ts.URL+"/v1/groups?wait=true", "application/json", strings.NewReader(sweepSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup group submit status %d", resp.StatusCode)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/groups?wait=true", "application/json", strings.NewReader(sweepSpec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("group submission %d status %d", i, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), `"cacheHits": 3`) {
+			b.Fatalf("group submission %d missed the cache: %s", i, body)
+		}
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/export"
 	"repro/internal/scenario"
 )
 
@@ -36,6 +35,17 @@ const (
 func (a *artifacts) file(name string) ([]byte, bool) {
 	b, ok := a.files[name]
 	return b, ok
+}
+
+// size is the total rendered byte count across the artifact files — the
+// same number a persisted disk-cache entry occupies, since save writes
+// exactly these bytes.
+func (a *artifacts) size() int64 {
+	var total int64
+	for _, b := range a.files {
+		total += int64(len(b))
+	}
+	return total
 }
 
 // resultWire is the JSON shape of the result endpoint's default document.
@@ -110,7 +120,7 @@ func render(r *scenario.Result, reps int) (*artifacts, error) {
 
 	for _, g := range r.Groups {
 		var buf bytes.Buffer
-		if err := export.WriteSeriesLong(&buf, g.Series); err != nil {
+		if err := r.WriteSeriesCSV(&buf, g.Kind); err != nil {
 			return nil, fmt.Errorf("service: rendering %s: %w", g.Kind, err)
 		}
 		a.files[g.Kind+".csv"] = buf.Bytes()

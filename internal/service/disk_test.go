@@ -1,0 +1,154 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// distinctSpecs returns n copies of testSpec at distinct seeds, so each
+// occupies its own cache entry.
+func distinctSpecs(n, base int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = strings.Replace(testSpec, `"seed": 3`, fmt.Sprintf(`"seed": %d`, base+i), 1)
+	}
+	return out
+}
+
+// cacheDirs lists the non-temporary entry directories under dir.
+func cacheDirs(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".tmp-") {
+			keys = append(keys, e.Name())
+		}
+	}
+	return keys
+}
+
+func TestDiskCacheEntryBound(t *testing.T) {
+	// Three distinct specs through a 2-entry disk bound: the oldest entry
+	// is removed from disk, the recent two survive, and the evicted spec
+	// recomputes (and re-persists) on resubmission.
+	dir := t.TempDir()
+	svc, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, CacheDir: dir, CacheMaxEntries: 2, CacheMaxBytes: -1})
+	specs := distinctSpecs(3, 200)
+	var keys []string
+	for i, spec := range specs {
+		st, code := submit(t, ts, spec, "?wait=true")
+		if code != http.StatusOK || st.State != StateDone {
+			t.Fatalf("submit %d: %d %+v", i, code, st)
+		}
+		keys = append(keys, st.Key)
+	}
+	if got := cacheDirs(t, dir); len(got) != 2 {
+		t.Fatalf("disk cache holds %d entries, want 2: %v", len(got), got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keys[0])); !os.IsNotExist(err) {
+		t.Fatalf("oldest entry %s still on disk (err %v)", keys[0], err)
+	}
+	for _, k := range keys[1:] {
+		if _, err := os.Stat(filepath.Join(dir, k)); err != nil {
+			t.Fatalf("recent entry %s evicted: %v", k, err)
+		}
+	}
+	if entries, bytes := svc.disk.stats(); entries != 2 || bytes <= 0 {
+		t.Fatalf("disk stats = (%d, %d)", entries, bytes)
+	}
+}
+
+func TestDiskCacheByteBound(t *testing.T) {
+	// A byte cap smaller than one entry: every save is evicted right after
+	// it lands, the response is still served, and the directory stays
+	// empty — the bound holds even in the degenerate case.
+	dir := t.TempDir()
+	svc, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, CacheDir: dir, CacheMaxEntries: -1, CacheMaxBytes: 1})
+	st, code := submit(t, ts, testSpec, "?wait=true")
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("submit: %d %+v", code, st)
+	}
+	if got := cacheDirs(t, dir); len(got) != 0 {
+		t.Fatalf("byte-capped disk cache holds %v", got)
+	}
+	if entries, bytes := svc.disk.stats(); entries != 0 || bytes != 0 {
+		t.Fatalf("disk stats = (%d, %d), want empty", entries, bytes)
+	}
+	// The memory layer still has it.
+	if st2, _ := submit(t, ts, testSpec, "?wait=true"); !st2.CacheHit {
+		t.Fatal("memory layer lost the result")
+	}
+}
+
+func TestDiskCacheStartupTrimAndTmpSweep(t *testing.T) {
+	// A restarted server adopts persisted entries oldest-first by mtime,
+	// trims beyond the configured bound immediately, and sweeps stale
+	// ".tmp-" write debris a crash left behind.
+	dir := t.TempDir()
+	svc1 := New(Config{Workers: 1, JobRunners: 1, CacheDir: dir, CacheMaxEntries: -1, CacheMaxBytes: -1})
+	ts1 := newServerFor(t, svc1)
+	specs := distinctSpecs(3, 300)
+	var keys []string
+	for i, spec := range specs {
+		st, code := submit(t, ts1, spec, "?wait=true")
+		if code != http.StatusOK {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		keys = append(keys, st.Key)
+	}
+	ts1.Close()
+	svc1.Close()
+
+	// Force a recognizable age order and drop crash debris.
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, k), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, ".tmp-"+keys[0]+"-crashed"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, _ := newTestServer(t, Config{Workers: 1, JobRunners: 1, CacheDir: dir, CacheMaxEntries: 2, CacheMaxBytes: -1})
+	got := cacheDirs(t, dir)
+	if len(got) != 2 {
+		t.Fatalf("startup trim left %d entries: %v", len(got), got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keys[0])); !os.IsNotExist(err) {
+		t.Fatalf("oldest persisted entry survived the startup trim (err %v)", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("stale tmp dir %s not swept", e.Name())
+		}
+	}
+	if n, _ := svc2.disk.stats(); n != 2 {
+		t.Fatalf("adopted %d entries, want 2", n)
+	}
+}
+
+// newServerFor wraps an already-created service in an httptest server the
+// caller closes itself (for restart tests where Close order matters).
+func newServerFor(t *testing.T, svc *Service) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(svc.Handler())
+}

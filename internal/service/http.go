@@ -1,9 +1,11 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -24,24 +26,47 @@ import (
 //	                               the CLI's byte-identical CSVs
 //	GET    /v1/jobs/{id}/events    NDJSON progress stream: full replay,
 //	                               then live until the job terminates
+//	POST   /v1/groups              submit a spec *with* a sweep block (or a
+//	                               JSON array of specs) as one job group;
+//	                               same query knobs as /v1/jobs
+//	GET    /v1/groups              list group statuses in submission order
+//	GET    /v1/groups/{id}         aggregate status + per-variant states
+//	DELETE /v1/groups/{id}         cancel the group; fans out to children
+//	GET    /v1/groups/{id}/result  all-variants-done result: JSON by
+//	                               default, ?csv=... for the per-variant
+//	                               CSVs concatenated in expansion order —
+//	                               byte-identical to the files
+//	                               `scda-bench -scenario-dir` writes
+//	GET    /v1/groups/{id}/events  NDJSON group lifecycle stream
 //	GET    /healthz                liveness
 //	GET    /metrics                Prometheus text metrics
 //
 // Errors are JSON objects {"error": "..."} with conventional status codes
-// (400 invalid spec, 404 unknown job or path, 405 wrong method, 409
-// conflict with the job's state).
+// (400 invalid spec or knob, 404 unknown job or path, 405 wrong method,
+// 409 conflict with the job's or group's state).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/groups", s.handleGroups)
+	mux.HandleFunc("/v1/groups/", s.handleGroup)
 	return mux
 }
 
 // maxSpecBytes bounds a submitted spec body (1 MiB is orders of magnitude
 // above any real spec).
 const maxSpecBytes = 1 << 20
+
+// maxGroupBytes bounds a group submission body, which may carry an
+// explicit JSON array of many specs.
+const maxGroupBytes = 4 << 20
+
+// maxPriorityMagnitude bounds |?priority|: the knob orders a single
+// service's queue, so magnitudes beyond this are client bugs (an absurd
+// value would also survive forever in the Status wire format).
+const maxPriorityMagnitude = 1 << 20
 
 // httpError writes the JSON error envelope.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -67,7 +92,8 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the Prometheus text exposition.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.writeTo(w, s.pool.Workers(), s.cfg.JobRunners, s.CacheLen())
+	diskEntries, diskBytes := s.disk.stats()
+	s.met.writeTo(w, s.pool.Workers(), s.cfg.JobRunners, s.CacheLen(), diskEntries, diskBytes)
 }
 
 // handleJobs serves the collection: POST submits, GET lists.
@@ -82,19 +108,46 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleSubmit parses the spec body and query knobs, submits, and answers
-// with the job status (201 for a fresh job, 200 when served from cache or
-// after ?wait=true).
-func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// submitParams parses and bounds the query knobs shared by the job and
+// group submission endpoints. Before PR 5 negative or absurd values flowed
+// straight through strconv.Atoi into Submit — a negative ?reps silently
+// became the server default, and any priority magnitude was accepted —
+// so validation lives here at the HTTP edge, keeping the programmatic
+// Submit's "<= 0 means default" contract intact for in-process callers.
+// ok is false when the response has already been written.
+func (s *Service) submitParams(w http.ResponseWriter, r *http.Request) (reps, priority int, ok bool) {
 	q := r.URL.Query()
 	reps, err := intParam(q.Get("reps"), 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reps: %v", err)
-		return
+		return 0, 0, false
 	}
-	priority, err := intParam(q.Get("priority"), 0)
+	if reps < 0 {
+		httpError(w, http.StatusBadRequest, "reps: %d is negative (omit or use 0 for the server default)", reps)
+		return 0, 0, false
+	}
+	if reps > s.cfg.MaxReps {
+		httpError(w, http.StatusBadRequest, "reps: %d exceeds the limit %d", reps, s.cfg.MaxReps)
+		return 0, 0, false
+	}
+	priority, err = intParam(q.Get("priority"), 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "priority: %v", err)
+		return 0, 0, false
+	}
+	if priority > maxPriorityMagnitude || priority < -maxPriorityMagnitude {
+		httpError(w, http.StatusBadRequest, "priority: %d outside [%d, %d]", priority, -maxPriorityMagnitude, maxPriorityMagnitude)
+		return 0, 0, false
+	}
+	return reps, priority, true
+}
+
+// handleSubmit parses the spec body and query knobs, submits, and answers
+// with the job status (201 for a fresh job, 200 when served from cache or
+// after ?wait=true).
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	reps, priority, ok := s.submitParams(w, r)
+	if !ok {
 		return
 	}
 	spec, err := scenario.Parse(http.MaxBytesReader(w, r.Body, maxSpecBytes))
@@ -112,7 +165,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if q.Get("wait") == "true" {
+	if r.URL.Query().Get("wait") == "true" {
 		select {
 		case <-j.Done():
 		case <-r.Context().Done():
@@ -203,13 +256,22 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request, j *Job) {
 // disconnects. Each line is one Event; flushed per line so curl shows
 // progress as it happens.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	streamNDJSON(w, r, j.eventsSince)
+}
+
+// streamNDJSON drives one NDJSON event stream — replay everything emitted
+// so far, then live until the source terminates or the client disconnects
+// — shared by the job and group event endpoints. since returns the events
+// after the first seen ones, the channel signalling the next change, and
+// whether the source reached a terminal state.
+func streamNDJSON[E any](w http.ResponseWriter, r *http.Request, since func(seen int) ([]E, <-chan struct{}, bool)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	seen := 0
 	for {
-		evs, changed, terminal := j.eventsSince(seen)
+		evs, changed, terminal := since(seen)
 		for _, ev := range evs {
 			if err := enc.Encode(ev); err != nil {
 				return
@@ -227,6 +289,238 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// handleGroups serves the group collection: POST submits, GET lists.
+func (s *Service) handleGroups(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleGroupSubmit(w, r)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Groups())
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on /v1/groups", r.Method)
+	}
+}
+
+// handleGroupSubmit parses the group body — one spec object (with or
+// without a sweep block) or a JSON array of specs, each strictly parsed
+// and expanded — submits the flattened variants as one group, and answers
+// with the group status (201 for a fresh group, 200 once terminal).
+func (s *Service) handleGroupSubmit(w http.ResponseWriter, r *http.Request) {
+	reps, priority, ok := s.submitParams(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGroupBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "group body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	name, variants, err := parseGroupBody(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g, err := s.SubmitGroup(name, variants, reps, priority)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "true" {
+		select {
+		case <-g.Done():
+		case <-r.Context().Done():
+			httpError(w, http.StatusRequestTimeout, "client went away while waiting for %s", g.ID)
+			return
+		}
+	}
+	st := g.Status()
+	w.Header().Set("Location", "/v1/groups/"+g.ID)
+	code := http.StatusCreated
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// parseGroupBody turns a group submission body into a base name plus
+// sweep-free variant specs: a single spec object expands its sweep (if
+// any) and names the group; a JSON array strictly parses and expands each
+// element, flattening in order, with the first element naming the group.
+// Unlike directory runs, an array may legitimately repeat a variant —
+// duplicates dedupe to one computation through the singleflight cache.
+func parseGroupBody(body []byte) (string, []*scenario.Spec, error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		return "", nil, errors.New("empty group body")
+	}
+	if trimmed[0] != '[' {
+		spec, err := scenario.Parse(bytes.NewReader(body))
+		if err != nil {
+			return "", nil, err
+		}
+		variants, err := spec.Expand()
+		return spec.Name, variants, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	var elems []json.RawMessage
+	if err := dec.Decode(&elems); err != nil {
+		return "", nil, fmt.Errorf("scenario array: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return "", nil, errors.New("trailing data after scenario array")
+	}
+	name := ""
+	var variants []*scenario.Spec
+	for i, raw := range elems {
+		spec, err := scenario.Parse(bytes.NewReader(raw))
+		if err != nil {
+			return "", nil, fmt.Errorf("scenario array element %d: %v", i, err)
+		}
+		if i == 0 {
+			name = spec.Name
+		}
+		vs, err := spec.Expand()
+		if err != nil {
+			return "", nil, fmt.Errorf("scenario array element %d: %v", i, err)
+		}
+		variants = append(variants, vs...)
+	}
+	return name, variants, nil
+}
+
+// handleGroup routes /v1/groups/{id}[/result|/events].
+func (s *Service) handleGroup(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/groups/")
+	id, sub, _ := strings.Cut(rest, "/")
+	g, ok := s.Group(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no group %q", id)
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, g.Status())
+		case http.MethodDelete:
+			s.handleGroupCancel(w, g)
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on a group", r.Method)
+		}
+	case "result":
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on a group result", r.Method)
+			return
+		}
+		s.handleGroupResult(w, r, g)
+	case "events":
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on an event stream", r.Method)
+			return
+		}
+		streamNDJSON(w, r, g.eventsSince)
+	default:
+		httpError(w, http.StatusNotFound, "no resource %q under group %s", sub, id)
+	}
+}
+
+// handleGroupCancel cancels a group over the API, fanning out to its
+// children.
+func (s *Service) handleGroupCancel(w http.ResponseWriter, g *JobGroup) {
+	if !s.cancelGroup(g) {
+		httpError(w, http.StatusConflict, "group %s already %s", g.ID, g.Status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, g.Status())
+}
+
+// groupResultWire is the JSON shape of the group result endpoint's default
+// document: one entry per variant with its result document spliced in.
+type groupResultWire struct {
+	// ID / Name identify the group.
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Replicates is the per-variant replicate count.
+	Replicates int `json:"replicates"`
+	// Variants holds one entry per variant in expansion order.
+	Variants []groupVariantWire `json:"variants"`
+}
+
+// groupVariantWire is one variant's slot in the group result document.
+type groupVariantWire struct {
+	// ID is the child job, Name the variant scenario, Key its cache key.
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	Key  string `json:"key"`
+	// CacheHit reports whether the variant was served without
+	// recomputation.
+	CacheHit bool `json:"cacheHit"`
+	// Result is the variant's result document (the job result endpoint's
+	// default JSON).
+	Result json.RawMessage `json:"result"`
+}
+
+// handleGroupResult serves the completed group: the aggregate JSON
+// document by default, or — with ?csv= — the per-variant CSV artifacts of
+// that kind concatenated in expansion order, which is byte-identical to
+// concatenating the files `scda-bench -scenario-dir` writes for the same
+// pre-expanded specs (each variant's artifact already is that file's
+// bytes). Results exist only once every variant is done.
+func (s *Service) handleGroupResult(w http.ResponseWriter, r *http.Request, g *JobGroup) {
+	jobs, ok := g.doneJobs()
+	if !ok {
+		httpError(w, http.StatusConflict, "group %s is %s; the result exists only once every variant is done", g.ID, g.Status().State)
+		return
+	}
+	kind := r.URL.Query().Get("csv")
+	if kind == "" {
+		doc := groupResultWire{ID: g.ID, Name: g.Name, Replicates: g.Reps, Variants: make([]groupVariantWire, 0, len(jobs))}
+		for _, j := range jobs {
+			art, ok := j.Artifacts()
+			if !ok {
+				httpError(w, http.StatusConflict, "variant %s has no artifacts", j.ID)
+				return
+			}
+			b, _ := art.file(artResult)
+			doc.Variants = append(doc.Variants, groupVariantWire{
+				// TrimSpace drops the artifact's trailing newline, which is
+				// not part of the JSON value being spliced.
+				ID: j.ID, Name: j.Spec.Name, Key: j.Key, CacheHit: j.Status().CacheHit, Result: bytes.TrimSpace(b),
+			})
+		}
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
+	name := kind + ".csv"
+	parts := make([][]byte, 0, len(jobs))
+	total := 0
+	for _, j := range jobs {
+		art, ok := j.Artifacts()
+		if !ok {
+			httpError(w, http.StatusConflict, "variant %s has no artifacts", j.ID)
+			return
+		}
+		b, ok := art.file(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "variant %s has no %s artifact (have summary, %s)",
+				j.Spec.Name, name, strings.Join(art.seriesKinds(), ", "))
+			return
+		}
+		parts = append(parts, b)
+		total += len(b)
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(total))
+	for _, b := range parts {
+		w.Write(b)
 	}
 }
 

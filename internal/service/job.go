@@ -65,6 +65,10 @@ type Job struct {
 	// Priority orders the queue; higher runs first, FIFO within a level.
 	Priority int
 
+	// group, when non-nil, is the job group this job is a variant of; the
+	// group observes every event the job emits. Immutable after newJob.
+	group *JobGroup
+
 	mu       sync.Mutex
 	state    State
 	err      string
@@ -99,13 +103,14 @@ type Status struct {
 	Error string `json:"error,omitempty"`
 }
 
-func newJob(id string, spec *scenario.Spec, key string, reps, priority int) *Job {
+func newJob(id string, spec *scenario.Spec, key string, reps, priority int, g *JobGroup) *Job {
 	j := &Job{
 		ID:       id,
 		Spec:     spec,
 		Key:      key,
 		Reps:     reps,
 		Priority: priority,
+		group:    g,
 		state:    StateQueued,
 		changed:  make(chan struct{}),
 		done:     make(chan struct{}),
@@ -152,21 +157,28 @@ func (j *Job) Artifacts() (*artifacts, bool) {
 	return j.art, true
 }
 
-// emitLocked appends an event reflecting the current state and wakes
-// stream watchers. Callers hold j.mu.
+// emitLocked appends an event reflecting the current state, wakes stream
+// watchers, and forwards the event to the owning group (if any). Callers
+// hold j.mu; the lock order j.mu → group.mu is part of the service's lock
+// hierarchy (the group never calls back into a job while holding its own
+// lock).
 func (j *Job) emitLocked() {
-	j.events = append(j.events, Event{
+	ev := Event{
 		Seq:       len(j.events) + 1,
 		State:     j.state,
 		RepsDone:  j.repsDone,
 		RepsTotal: j.Reps,
 		CacheHit:  j.cacheHit && j.state == StateDone,
 		Error:     j.err,
-	})
+	}
+	j.events = append(j.events, ev)
 	close(j.changed)
 	j.changed = make(chan struct{})
 	if j.state.Terminal() {
 		close(j.done)
+	}
+	if j.group != nil {
+		j.group.childEvent(j, ev)
 	}
 }
 

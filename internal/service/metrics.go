@@ -19,12 +19,17 @@ type metrics struct {
 	doneCancelled atomic.Int64 // counter: jobs that reached state cancelled
 	cacheHits     atomic.Int64 // counter: results served without recomputation
 	cacheMisses   atomic.Int64 // counter: results computed fresh
+
+	groupsActive    atomic.Int64 // gauge: job groups not yet terminal
+	groupsDone      atomic.Int64 // counter: groups whose variants all completed
+	groupsFailed    atomic.Int64 // counter: groups with a failed variant or submission
+	groupsCancelled atomic.Int64 // counter: groups cancelled before completing
 }
 
 // writeTo renders the exposition text. The non-counter arguments are
 // point-in-time gauges owned by the Service (pool width, runner count,
-// cache size) rather than the metrics struct.
-func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries int) {
+// cache sizes) rather than the metrics struct.
+func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries, diskEntries int, diskBytes int64) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -40,9 +45,18 @@ func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries int
 	fmt.Fprintf(w, "scda_jobs_done_total{state=\"failed\"} %d\n", m.doneFailed.Load())
 	fmt.Fprintf(w, "scda_jobs_done_total{state=\"cancelled\"} %d\n", m.doneCancelled.Load())
 
+	gauge("scda_groups_active", "Job groups not yet in a terminal state.", m.groupsActive.Load())
+	fmt.Fprintf(w, "# HELP scda_groups_done_total Job groups that reached a terminal state, by state.\n")
+	fmt.Fprintf(w, "# TYPE scda_groups_done_total counter\n")
+	fmt.Fprintf(w, "scda_groups_done_total{state=\"done\"} %d\n", m.groupsDone.Load())
+	fmt.Fprintf(w, "scda_groups_done_total{state=\"failed\"} %d\n", m.groupsFailed.Load())
+	fmt.Fprintf(w, "scda_groups_done_total{state=\"cancelled\"} %d\n", m.groupsCancelled.Load())
+
 	counter("scda_cache_hits_total", "Results served from the cache (memory, disk, or an in-flight duplicate).", m.cacheHits.Load())
 	counter("scda_cache_misses_total", "Results computed fresh.", m.cacheMisses.Load())
 	gauge("scda_cache_entries", "Completed or in-flight entries in the in-memory result cache.", int64(cacheEntries))
+	gauge("scda_disk_cache_entries", "Entries in the bounded disk cache layer (0 when disabled).", int64(diskEntries))
+	gauge("scda_disk_cache_bytes", "Total bytes in the bounded disk cache layer (0 when disabled).", diskBytes)
 
 	// One job per runner, so busy runners == running jobs; the family is
 	// exported under the operator-facing name without duplicating state.

@@ -11,9 +11,16 @@
 // keyed by the canonical spec hash (scenario.Spec.Hash) × replicate count,
 // deduplicated through runner.Group singleflight — concurrent identical
 // submissions share one computation, later ones are served from memory (or
-// the optional disk layer) without recomputation. Because scenario runs are
-// deterministic, a cache hit is indistinguishable from a fresh run byte for
-// byte, which is what makes caching sound.
+// the optional disk layer, bounded by entry-count and byte caps) without
+// recomputation. Because scenario runs are deterministic, a cache hit is
+// indistinguishable from a fresh run byte for byte, which is what makes
+// caching sound.
+//
+// Sweep specs are first-class through job groups: one POST expands a
+// sweep server-side, submits every variant as an ordinary cached child
+// job, and aggregates status, events, cancellation and results (the
+// concatenated sweep CSV is byte-identical to scda-bench -scenario-dir
+// files for the same variants). See JobGroup.
 //
 // Everything is stdlib: net/http for the API, container/heap for the
 // queue, crypto/sha256 (via scenario) for the addresses.
@@ -54,9 +61,29 @@ type Config struct {
 	// CacheEntries bounds the in-memory result cache (0 = 1024): beyond
 	// it, the oldest completed entries are evicted FIFO. An evicted
 	// result is recomputed on resubmission — or reloaded from the disk
-	// layer when CacheDir is set, which is unbounded by design (disk is
-	// cheap, rendered results are small).
+	// layer when CacheDir is set.
 	CacheEntries int
+	// CacheMaxEntries bounds the disk cache layer's entry count
+	// (0 = 4096, negative = unbounded): beyond it the oldest entries are
+	// removed from disk, oldest first. Ignored without CacheDir.
+	CacheMaxEntries int
+	// CacheMaxBytes bounds the disk cache layer's total size in bytes
+	// (0 = 1 GiB, negative = unbounded), enforced with the same
+	// oldest-first eviction. Ignored without CacheDir.
+	CacheMaxBytes int64
+	// GroupHistory bounds the job-group ledger by the *total variant
+	// count* retained across groups (0 = 4096), evicting the oldest
+	// terminal groups once exceeded (their IDs 404). Counting variants
+	// rather than groups is deliberate: a retained group pins its child
+	// jobs — rendered artifacts included — beyond the job ledger's own
+	// pruning, so a per-group bound would really be a
+	// groups × MaxGroupVariants artifact-set bound. Active groups are
+	// never evicted.
+	GroupHistory int
+	// MaxGroupVariants bounds how many variants one group submission may
+	// expand to (0 = 256), so a hostile or typo'd sweep cannot enqueue
+	// unbounded work in one request.
+	MaxGroupVariants int
 }
 
 // Service is the resident simulation service. Create with New, expose
@@ -68,10 +95,15 @@ type Service struct {
 	group *runner.Group[string, *artifacts]
 	met   metrics
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for the list endpoint
-	nextID int
+	disk *diskCache // nil when CacheDir is unset
+
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string // submission order, for the list endpoint
+	nextID      int
+	groups      map[string]*JobGroup
+	groupOrder  []string // group submission order, for the list endpoint
+	nextGroupID int
 
 	cacheMu   sync.Mutex
 	cacheKeys []string // completed-entry FIFO backing CacheEntries eviction
@@ -106,13 +138,29 @@ func New(cfg Config) *Service {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 1024
 	}
+	if cfg.CacheMaxEntries == 0 {
+		cfg.CacheMaxEntries = 4096
+	}
+	if cfg.CacheMaxBytes == 0 {
+		cfg.CacheMaxBytes = 1 << 30
+	}
+	if cfg.GroupHistory <= 0 {
+		cfg.GroupHistory = 4096
+	}
+	if cfg.MaxGroupVariants <= 0 {
+		cfg.MaxGroupVariants = 256
+	}
 	s := &Service{
 		cfg:       cfg,
 		pool:      runner.New(cfg.Workers),
 		queue:     newJobQueue(),
 		group:     runner.NewGroup[string, *artifacts](),
 		jobs:      make(map[string]*Job),
+		groups:    make(map[string]*JobGroup),
 		cacheSeen: make(map[string]bool),
+	}
+	if cfg.CacheDir != "" {
+		s.disk = newDiskCache(cfg.CacheDir, cfg.CacheMaxEntries, cfg.CacheMaxBytes)
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.JobRunners; i++ {
@@ -139,10 +187,10 @@ func (s *Service) Close() {
 	})
 }
 
-// ErrSweep rejects specs with a sweep block: one job is one run, so sweep
-// variants must be expanded client-side and submitted individually (they
-// cache independently anyway).
-var ErrSweep = errors.New("service: spec has a sweep; expand it and submit each variant as its own job")
+// ErrSweep rejects specs with a sweep block on the single-job endpoint:
+// one job is one run. Sweeps are first-class on the group endpoint, which
+// expands them server-side and aggregates the variants.
+var ErrSweep = errors.New("service: spec has a sweep; submit it to /v1/groups to expand and aggregate it server-side")
 
 // Submit validates and enqueues a scenario for execution with reps
 // replicate seeds at the given queue priority, returning the job handle
@@ -152,6 +200,14 @@ func (s *Service) Submit(spec *scenario.Spec, reps, priority int) (*Job, error) 
 	if spec.Sweep != nil {
 		return nil, ErrSweep
 	}
+	return s.submit(spec, reps, priority, nil)
+}
+
+// submit is Submit plus an optional owning group: a non-nil g is attached
+// to the job before any lifecycle event beyond the initial queued one can
+// fire, so the group observes every transition including a born-done cache
+// hit.
+func (s *Service) submit(spec *scenario.Spec, reps, priority int, g *JobGroup) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -187,7 +243,10 @@ func (s *Service) Submit(spec *scenario.Spec, reps, priority int) (*Job, error) 
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
-	j := newJob(id, spec, key, reps, priority)
+	j := newJob(id, spec, key, reps, priority, g)
+	if g != nil {
+		g.attach(j)
+	}
 	if hit {
 		// Cache fast path: the job is born done *before* it is published
 		// in s.jobs, so no DELETE can race its accounting.
@@ -313,6 +372,177 @@ func (s *Service) Cancel(id string) (cancelled, found bool) {
 	return s.cancelJob(j), true
 }
 
+// SubmitGroup validates and submits every variant spec as a child job of
+// one new group named name (the base scenario name; "" defaults to the
+// first variant's), at reps replicate seeds and the given queue priority,
+// returning the group handle once every variant has been submitted (or the
+// expansion was interrupted by a concurrent cancel). Variants must already
+// be sweep-free — callers expand sweeps first (scenario.Spec.Expand) — and
+// every one is validated before the group is published, so a bad variant
+// rejects the whole submission instead of leaving a half-submitted group.
+// Cached variants are born done exactly as standalone submissions are, so
+// an all-cached group costs zero simulation work.
+func (s *Service) SubmitGroup(name string, specs []*scenario.Spec, reps, priority int) (*JobGroup, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("service: group has no variants")
+	}
+	if len(specs) > s.cfg.MaxGroupVariants {
+		return nil, fmt.Errorf("service: group expands to %d variants, more than the limit %d", len(specs), s.cfg.MaxGroupVariants)
+	}
+	if reps <= 0 {
+		reps = s.cfg.DefaultReps
+	}
+	if reps > s.cfg.MaxReps {
+		return nil, fmt.Errorf("service: reps %d exceeds the limit %d", reps, s.cfg.MaxReps)
+	}
+	for _, spec := range specs {
+		if spec.Sweep != nil {
+			return nil, ErrSweep
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	g := s.publishGroup(name, specs, reps, priority)
+	s.submitVariants(g, specs)
+	return g, nil
+}
+
+// publishGroup registers a new group in the ledger before any child is
+// submitted, so a concurrent DELETE can find (and interrupt) a group whose
+// expansion is still in flight.
+func (s *Service) publishGroup(name string, specs []*scenario.Spec, reps, priority int) *JobGroup {
+	if name == "" {
+		name = specs[0].Name
+	}
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		names[i] = spec.Name
+	}
+	s.mu.Lock()
+	s.nextGroupID++
+	id := fmt.Sprintf("g%06d", s.nextGroupID)
+	g := newJobGroup(id, name, names, reps, priority, &s.met)
+	s.met.groupsActive.Add(1)
+	s.groups[id] = g
+	s.groupOrder = append(s.groupOrder, id)
+	s.pruneGroupsLocked()
+	s.mu.Unlock()
+	return g
+}
+
+// submitVariants drives the expansion loop: one child submission per
+// variant, honoring a concurrent group cancel both between submissions
+// (remaining variants are skipped, counted cancelled without ever becoming
+// jobs) and just after one (the fresh child is cancelled like any queued
+// job). Child submissions cannot fail validation — SubmitGroup validated
+// every spec before publishing — so a submit error here (hashing, a close
+// race) fails the group as a unit.
+func (s *Service) submitVariants(g *JobGroup, specs []*scenario.Spec) {
+	for i, spec := range specs {
+		if g.cancelPending() {
+			g.skipRemaining(len(specs)-i, "")
+			return
+		}
+		j, err := s.submit(spec, g.Reps, g.Priority, g)
+		if err != nil {
+			g.skipRemaining(len(specs)-i, fmt.Sprintf("variant %s: %v", spec.Name, err))
+			return
+		}
+		if g.cancelPending() {
+			// The cancel raced the submission: the group's job copy may
+			// predate this child, so cancel it here; requestCancel's state
+			// machine keeps the accounting exactly-once.
+			s.cancelJob(j)
+		}
+	}
+}
+
+// Group looks a job group up by ID.
+func (s *Service) Group(id string) (*JobGroup, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[id]
+	return g, ok
+}
+
+// Groups returns status snapshots of every group in submission order.
+func (s *Service) Groups() []GroupStatus {
+	s.mu.Lock()
+	groups := make([]*JobGroup, len(s.groupOrder))
+	for i, id := range s.groupOrder {
+		groups[i] = s.groups[id]
+	}
+	s.mu.Unlock()
+	out := make([]GroupStatus, len(groups))
+	for i, g := range groups {
+		out[i] = g.Status()
+	}
+	return out
+}
+
+// CancelGroup stops the identified group: cancellation fans out to every
+// child job (immediately for queued ones, at the next replicate boundary
+// for running ones) and interrupts a still-running expansion. The second
+// return reports whether the group existed; the first whether cancellation
+// was possible (false once terminal).
+func (s *Service) CancelGroup(id string) (cancelled, found bool) {
+	g, ok := s.Group(id)
+	if !ok {
+		return false, false
+	}
+	return s.cancelGroup(g), true
+}
+
+// cancelGroup marks the group cancel-requested and fans the cancel out to
+// the children submitted so far; submitVariants picks the flag up for the
+// rest.
+func (s *Service) cancelGroup(g *JobGroup) bool {
+	g.mu.Lock()
+	if g.state.Terminal() {
+		g.mu.Unlock()
+		return false
+	}
+	g.cancelReq = true
+	jobs := append([]*Job(nil), g.jobs...)
+	g.mu.Unlock()
+	for _, j := range jobs {
+		s.cancelJob(j)
+	}
+	return true
+}
+
+// pruneGroupsLocked evicts the oldest terminal groups while the total
+// variant count retained by the ledger exceeds GroupHistory, mirroring
+// pruneLocked for jobs: active groups and the newest entry are never
+// evicted (so the bound is transiently exceedable while old groups are
+// still running, exactly like the job ledger's). Eviction releases the
+// group's references to its child jobs — and through them any rendered
+// artifacts the job ledger had already let go of. Caller holds s.mu.
+func (s *Service) pruneGroupsLocked() {
+	over := -s.cfg.GroupHistory
+	for _, id := range s.groupOrder {
+		over += s.groups[id].variantCount()
+	}
+	if over <= 0 {
+		return
+	}
+	kept := s.groupOrder[:0]
+	for i, id := range s.groupOrder {
+		if over <= 0 || i == len(s.groupOrder)-1 {
+			kept = append(kept, s.groupOrder[i:]...)
+			break
+		}
+		if s.groups[id].terminal() {
+			over -= s.groups[id].variantCount()
+			delete(s.groups, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.groupOrder = kept
+}
+
 // runLoop is one job-runner goroutine: pop, execute, repeat until the
 // queue closes.
 func (s *Service) runLoop() {
@@ -364,8 +594,12 @@ func (s *Service) runJob(j *Job) {
 			}
 			if dir, ok := s.cacheEntryDir(j.Key); ok {
 				// Persistence is best-effort: a failed write degrades the
-				// disk layer, never the response.
-				_ = a.save(dir)
+				// disk layer, never the response. A successful write is
+				// registered with the disk bound so the layer cannot grow
+				// without limit.
+				if a.save(dir) == nil {
+					s.disk.record(j.Key, a.size())
+				}
 			}
 			return a, nil
 		})

@@ -691,11 +691,27 @@ func TestSubmitRejections(t *testing.T) {
 		"sweep spec":      {body: `{"version":1,"name":"x","seed":1,"duration":5,"workload":[{"generator":"dc"}],"sweep":{"parameter":"seed","values":[1,2]}}`, query: ""},
 		"reps over limit": {body: testSpec, query: "?reps=5"},
 		"bad reps":        {body: testSpec, query: "?reps=abc"},
+		// PR 5 edge validation: before it, a negative ?reps silently
+		// became the server default and any priority magnitude was
+		// accepted into the queue and the wire format.
+		"negative reps":         {body: testSpec, query: "?reps=-1"},
+		"very negative reps":    {body: testSpec, query: "?reps=-9999999"},
+		"bad priority":          {body: testSpec, query: "?priority=abc"},
+		"absurd priority":       {body: testSpec, query: "?priority=1048577"},
+		"absurd neg priority":   {body: testSpec, query: "?priority=-1048577"},
+		"float reps":            {body: testSpec, query: "?reps=1.5"},
+		"overflow reps":         {body: testSpec, query: "?reps=99999999999999999999"},
+		"overflow neg priority": {body: testSpec, query: "?priority=-99999999999999999999"},
 	}
 	for name, tc := range cases {
 		if _, code := submit(t, ts, tc.body, tc.query); code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, code)
 		}
+	}
+	// In-range knobs still pass: negative priority is a legitimate
+	// "run me last", zero reps selects the default.
+	if st, code := submit(t, ts, testSpec, "?wait=true&reps=0&priority=-5"); code != http.StatusOK || st.Priority != -5 {
+		t.Errorf("valid knobs rejected: %d %+v", code, st)
 	}
 
 	// Oversized bodies get the honest status, not a spec-syntax 400.
@@ -732,7 +748,7 @@ func TestJobListOrder(t *testing.T) {
 func TestQueuePriorityOrder(t *testing.T) {
 	q := newJobQueue()
 	spec := &scenario.Spec{Name: "q"}
-	mk := func(id string, prio int) *Job { return newJob(id, spec, "k", 1, prio) }
+	mk := func(id string, prio int) *Job { return newJob(id, spec, "k", 1, prio, nil) }
 	q.Push(mk("low-1", 0))
 	q.Push(mk("high", 5))
 	q.Push(mk("low-2", 0))

@@ -8,7 +8,9 @@
 # The micro-benchmarks (BenchmarkEventLoop, BenchmarkMaxMinRates,
 # BenchmarkPacketForwarding, BenchmarkFluid1000Flows) measure the three hot
 # layers in isolation; BenchmarkServiceSubmitCached is the scda-serve
-# cache hot path (HTTP submit of an already-cached spec, no simulation);
+# cache hot path (HTTP submit of an already-cached spec, no simulation) and
+# BenchmarkServiceGroupSubmitCached its job-group counterpart (a sweep
+# expanded server-side, every variant a cache hit);
 # BenchmarkAllFiguresSerial is the end-to-end figure suite at bench scale.
 # Compare a fresh run against the committed JSON: ns/op regressions > ~20%
 # or any B/op growth on the 0-alloc benchmarks deserve a look before
@@ -21,7 +23,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached' \
+    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached' \
     -benchmem ./internal/sim ./internal/flowsim ./internal/netsim ./internal/service | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkAllFiguresSerial' -benchtime=1x -benchmem . | tee -a "$tmp"
 

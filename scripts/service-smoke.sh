@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# service-smoke.sh — end-to-end smoke test of scda-serve against the CLI.
+# service-smoke.sh — end-to-end smoke test of scda-serve against the CLIs.
 #
-# Builds both binaries, runs scda-sim -scenario scenarios/paper-fig6.json
+# Builds the binaries, runs scda-sim -scenario scenarios/paper-fig6.json
 # to produce the reference CSVs, then starts the service, submits the same
 # spec over HTTP, polls the job to completion, and diffs every result CSV
-# against the CLI's files byte for byte. Finally re-submits the spec and
-# checks the second job is a cache hit and the metrics endpoint recorded
-# it. CI runs this as the service-smoke job; it needs only curl, sed and
-# diff beyond the go toolchain.
+# against the CLI's files byte for byte; re-submits the spec and checks
+# the second job is a cache hit and the metrics endpoint recorded it.
+# Then the job-group leg: runs scda-bench -scenario-dir over the
+# power-save sweep spec, submits the same spec to /v1/groups, and
+# byte-diffs the group's aggregate CSVs against the bench's per-variant
+# files concatenated in expansion order; a second group submission must be
+# all cache hits. CI runs this as the service-smoke job; it needs only
+# curl, grep, sed and diff beyond the go toolchain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +31,7 @@ trap cleanup EXIT
 echo "== building"
 go build -o "$tmp/scda-serve" ./cmd/scda-serve
 go build -o "$tmp/scda-sim" ./cmd/scda-sim
+go build -o "$tmp/scda-bench" ./cmd/scda-bench
 
 echo "== reference run: scda-sim -scenario $spec"
 "$tmp/scda-sim" -scenario "$spec" -out "$tmp/cli" >/dev/null
@@ -73,5 +78,49 @@ printf '%s' "$resp2" | grep -q '"cacheHit": *true' \
 echo "== checking metrics"
 curl -fsS "$base/metrics" | grep -E '^scda_cache_hits_total [1-9]' >/dev/null \
     || { echo "metrics did not record the cache hit"; exit 1; }
+
+sweep=scenarios/power-save.json
+echo "== reference sweep run: scda-bench -scenario-dir ($sweep)"
+mkdir "$tmp/sweep-spec"
+cp "$sweep" "$tmp/sweep-spec/"
+"$tmp/scda-bench" -scenario-dir "$tmp/sweep-spec" -out "$tmp/bench" >/dev/null
+# Expansion order == sweep value order (rscale 0, 1e7, 3e7).
+variants="power-save-system-rscale-0 power-save-system-rscale-1e07 power-save-system-rscale-3e07"
+
+echo "== submitting $sweep as a job group"
+gresp="$(curl -fsS -X POST --data-binary @"$sweep" "$base/v1/groups")"
+gid="$(printf '%s' "$gresp" | grep -m1 '"id"' | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$gid" ] || { echo "no group id in response: $gresp"; exit 1; }
+echo "   group $gid"
+
+echo "== polling group to completion"
+gstate=""
+for _ in $(seq 240); do
+    gstate="$(curl -fsS "$base/v1/groups/$gid" | grep -m1 '"state"' | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+    case "$gstate" in
+        done) break ;;
+        failed|cancelled) echo "group ended $gstate"; curl -fsS "$base/v1/groups/$gid"; exit 1 ;;
+    esac
+    sleep 0.5
+done
+[ "$gstate" = done ] || { echo "group still '$gstate' after timeout"; exit 1; }
+
+echo "== diffing group aggregate CSVs against scda-bench files"
+for kind in summary throughput fct-cdf; do
+    : > "$tmp/bench-$kind.csv"
+    for v in $variants; do
+        cat "$tmp/bench/$v-$kind.csv" >> "$tmp/bench-$kind.csv"
+    done
+    curl -fsS "$base/v1/groups/$gid/result?csv=$kind" > "$tmp/grp-$kind.csv"
+    diff "$tmp/bench-$kind.csv" "$tmp/grp-$kind.csv" \
+        || { echo "MISMATCH: group $kind differs from scda-bench"; exit 1; }
+done
+
+echo "== re-submitting the sweep: every variant must be a cache hit"
+gresp2="$(curl -fsS -X POST --data-binary @"$sweep" "$base/v1/groups?wait=true")"
+printf '%s' "$gresp2" | grep -q '"cacheHits": *3' \
+    || { echo "second group submission was not fully cached: $gresp2"; exit 1; }
+curl -fsS "$base/metrics" | grep -E '^scda_groups_done_total\{state="done"\} [1-9]' >/dev/null \
+    || { echo "metrics did not record the finished groups"; exit 1; }
 
 echo "service smoke OK"
