@@ -15,6 +15,9 @@
 // one variant each, the (scenario, replicate) grid fans out across the
 // worker pool, and with -reps > 1 each scenario's series carry mean ± 95%
 // CI error bars. Results are seed-deterministic at any worker count.
+// Specs selecting "engine": "fluid" run on the max-min fluid backend and
+// mix freely with packet specs in one directory — same CSV schema either
+// way.
 //
 // At -scale paper the suite reproduces the published parameters
 // (X=500/200 Mb/s, 100 s horizons) and takes correspondingly longer;

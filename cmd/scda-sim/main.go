@@ -14,7 +14,10 @@
 //	    topology, phased workload program, system, fault injection —
 //	    expanding its sweep (if any) into one run per variant, and write
 //	    the requested output CSVs under -out. Output is byte-identical
-//	    across runs of the same spec.
+//	    across runs of the same spec. Specs with "engine": "fluid" run on
+//	    the max-min fluid backend (internal/flowsim) instead of the
+//	    packet cluster: same output files, orders of magnitude faster,
+//	    100k+ concurrent transfers — see scenarios/fluid-100k.json.
 //
 //	scda-sim -validate PATH...
 //	    validate scenario specs (files, or directories of *.json) and

@@ -74,7 +74,10 @@ func AblationMaxMin(sc Scale) (AblationResult, error) {
 	for i, l := range tt.Graph.Links {
 		caps[i] = ctrl.Params.Alpha * l.Capacity
 	}
-	flowsim.MaxMinRates(fluid, caps)
+	// an owned Solver instead of the pooled MaxMinRates wrapper: the
+	// ablation is the only caller here, so reusing one solver keeps its
+	// scratch warm without round-tripping sync.Pool
+	flowsim.NewSolver(len(caps)).Solve(fluid, caps)
 	var sumErr float64
 	var worst float64
 	n := 0

@@ -34,17 +34,151 @@ func benchWorkload(n int) ([]*Flow, []float64) {
 }
 
 // BenchmarkMaxMinRates measures one full progressive-filling recomputation,
-// the operation the fluid simulator performs on every flow arrival and
-// departure.
+// the operation the incremental solver's prefix replay avoids. Uses an
+// owned warm Solver (not the pooled MaxMinRates wrapper) so the 0 allocs/op
+// figure is a stable property of the solver, not of sync.Pool weather.
 func BenchmarkMaxMinRates(b *testing.B) {
 	for _, n := range []int{100, 1000, 10000} {
 		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
 			flows, caps := benchWorkload(n)
+			sv := NewSolver(len(caps))
+			sv.Solve(flows, caps) // warm the scratch
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				MaxMinRates(flows, caps)
+				sv.Solve(flows, caps)
 			}
 		})
+	}
+}
+
+// churnState holds a warm incremental allocation plus one spare flow, so a
+// benchmark op is exactly one remove + one add (the event pattern the
+// Simulator generates) with zero setup inside the timed loop.
+type churnState struct {
+	inc   *Incremental
+	caps  []float64
+	flows []*Flow
+	spare *Flow
+	i     int
+}
+
+func newChurnState(b testing.TB, n int) *churnState {
+	flows, caps := benchWorkload(n + 1)
+	spare := flows[n]
+	flows = flows[:n]
+	inc := NewIncremental(caps)
+	if err := inc.Apply(flows, nil); err != nil {
+		b.Fatal(err)
+	}
+	return &churnState{inc: inc, caps: caps, flows: flows, spare: spare}
+}
+
+// step retires one resident flow and admits the previous victim in its
+// place, cycling through the population so successive ops hit different
+// links.
+func (c *churnState) step(b testing.TB) {
+	victim := c.flows[c.i]
+	c.oneOut(b, victim, c.spare)
+	c.flows[c.i] = c.spare
+	c.spare = victim
+	c.i = (c.i + 1) % len(c.flows)
+}
+
+func (c *churnState) oneOut(b testing.TB, out, in_ *Flow) {
+	if err := c.inc.Apply([]*Flow{in_}, []*Flow{out}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChurn measures the per-event cost of keeping max-min rates
+// exact under single-flow churn: "incremental" uses the prefix-replaying
+// Incremental solver, "full" re-solves from scratch after every event
+// (the pre-incremental behavior, kept as the speedup baseline at 10k —
+// at 100k a full solve per event is too slow to benchmark honestly).
+func BenchmarkChurn(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("incremental/flows=%d", n), func(b *testing.B) {
+			c := newChurnState(b, n)
+			c.step(b) // warm scratch and trace
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.step(b)
+			}
+		})
+	}
+	b.Run("full/flows=10000", func(b *testing.B) {
+		c := newChurnState(b, 10000)
+		sv := NewSolver(len(c.caps))
+		sv.Solve(c.flows, c.caps)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// same event pattern, but answered with a full re-solve
+			victim := c.flows[c.i]
+			c.flows[c.i] = c.spare
+			c.spare = victim
+			c.i = (c.i + 1) % len(c.flows)
+			sv.Solve(c.flows, c.caps)
+		}
+	})
+}
+
+// fluidBench precomputes the 1000-flow three-tier workload (paths
+// resolved once) so the benchmark times the simulator, not routing.
+type fluidBench struct {
+	sim   *Simulator
+	paths [][]topology.LinkID
+}
+
+func newFluidBench(b testing.TB) *fluidBench {
+	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := topology.ComputeRouting(tt.Graph)
+	fb := &fluidBench{sim: New(tt.Graph)}
+	for j := 0; j < 1000; j++ {
+		src := tt.Clients[j%len(tt.Clients)]
+		dst := tt.Servers[(j*3)%len(tt.Servers)]
+		path, err := r.Path(src, dst, uint64(j))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb.paths = append(fb.paths, path)
+	}
+	return fb
+}
+
+func (fb *fluidBench) run(b testing.TB) {
+	s := fb.sim
+	s.Reset()
+	for j, path := range fb.paths {
+		f := s.AcquireFlow()
+		f.ID = int64(j)
+		f.Path = path
+		f.Size = 1e6
+		if err := s.AddFlow(float64(j)*0.001, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Run(1e6)
+	if len(s.Completed) != 1000 {
+		b.Fatal("incomplete")
+	}
+}
+
+// BenchmarkFluid1000Flows runs a full 1000-flow fluid simulation per op on
+// a reused Simulator; steady state is allocation-free (pooled flows, typed
+// reused heaps, incremental rate repair), guarded by
+// TestSimulatorSteadyStateAllocationFree.
+func BenchmarkFluid1000Flows(b *testing.B) {
+	fb := newFluidBench(b)
+	fb.run(b) // warm pools and scratch to high-water mark
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.run(b)
 	}
 }

@@ -2,28 +2,38 @@
 // exact max-min fair rates computed by progressive filling, with rate
 // recomputation at every flow arrival and departure.
 //
-// It serves two purposes in the reproduction:
+// It serves three purposes in the reproduction:
 //
 //  1. Oracle: progressive filling is the textbook max-min allocation; the
 //     ablation experiments compare the SCDA RM/RA controller's converged
 //     rates against it to validate the eq. 2/3 mechanism.
 //  2. Scale: fluid simulation is orders of magnitude faster than
-//     packet-level simulation, enabling large-n sweeps of placement
-//     policies where packet dynamics don't matter.
+//     packet-level simulation, enabling 100k+ concurrent flows per
+//     simulated cluster — the scenario subsystem exposes it as
+//     "engine": "fluid".
+//  3. Incremental dynamics: the Incremental solver repairs the max-min
+//     allocation after a single flow arrival or departure by replaying
+//     only the filling rounds the event can affect, producing rates
+//     bit-for-bit identical to a fresh full solve (see incremental.go).
 //
 // The solver is allocation-free in steady state: all per-solve scratch
-// (residual capacities, weight sums, the frozen-flow bitset, the
-// candidate-link list) lives in a Solver that is reused across events.
-// Links are stamped with a solve epoch so only the links actually touched
-// by active flows are reset between solves — a solve over k flows with
-// h-hop paths costs O(k·h·rounds) regardless of graph size.
+// (residual capacities, weight sums, the candidate-link list) lives in a
+// Solver that is reused across events. Links are stamped with a solve
+// epoch so only the links actually touched by active flows are reset
+// between solves — a solve over k flows with h-hop paths costs
+// O(k·h·rounds) regardless of graph size. The Simulator is likewise
+// allocation-free in steady state: flows are pooled (AcquireFlow/Reset),
+// arrival and completion heaps are typed 4-ary heaps with reused entries,
+// and flow sizes are materialized lazily — a flow's remaining size is only
+// updated when its rate changes, so an event touches O(changed) flows, not
+// O(active).
 package flowsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/topology"
 )
@@ -32,7 +42,7 @@ import (
 type Flow struct {
 	ID     int64
 	Path   []topology.LinkID
-	Size   float64 // bits remaining
+	Size   float64 // bits remaining (materialized lazily by the Simulator)
 	Weight float64 // max-min weight (1 = neutral)
 
 	// Rate is the current max-min rate (bits/sec), valid between events.
@@ -42,29 +52,43 @@ type Flow struct {
 	Finish float64
 
 	done bool
+
+	// solver internals
+	fz  uint64 // fill epoch when this flow's rate was frozen
+	pos int    // 1-based index in an Incremental's flow list; 0 = inactive
+
+	// simulator internals
+	seq  uint64  // admission sequence, for deterministic heap tie-breaks
+	ver  uint32  // completion-heap entry version (stale entries are skipped)
+	updT float64 // time Size was last materialized
 }
+
+// fillEpochs issues one globally unique epoch per fill, so a flow's frozen
+// mark (f.fz) from any earlier solve — by this or any other Solver — can
+// never collide with the current one. Monotonicity is all that matters;
+// the counter never influences arithmetic, so determinism is unaffected.
+var fillEpochs atomic.Uint64
 
 // Solver holds the reusable scratch state for progressive filling. A
 // Solver may be reused across solves of any size (scratch grows to the
 // high-water mark) but must not be shared between concurrent goroutines;
 // use one Solver per Simulator, or MaxMinRates which draws from a pool.
 type Solver struct {
-	epoch  uint64
+	epoch  uint64    // link-scratch epoch
 	stamp  []uint64  // per-link: epoch when last touched
 	cap    []float64 // per-link residual capacity (valid when stamped)
 	weight []float64 // per-link sum of unfrozen flow weights
 	cand   []int32   // candidate constrained links (weight still > 0)
-	frozen []uint64  // bitset over flow positions
 }
 
 // NewSolver returns a solver pre-sized for a graph with nLinks links.
 func NewSolver(nLinks int) *Solver {
 	sv := &Solver{}
-	sv.ensure(nLinks, 0)
+	sv.ensure(nLinks)
 	return sv
 }
 
-func (sv *Solver) ensure(nLinks, nFlows int) {
+func (sv *Solver) ensure(nLinks int) {
 	if len(sv.stamp) < nLinks {
 		// fresh zeroed stamps are fine: epoch is always ≥ 1 inside solve,
 		// so unstamped entries read as untouched
@@ -72,11 +96,12 @@ func (sv *Solver) ensure(nLinks, nFlows int) {
 		sv.cap = make([]float64, nLinks)
 		sv.weight = make([]float64, nLinks)
 	}
-	nb := (nFlows + 63) / 64
-	if len(sv.frozen) < nb {
-		sv.frozen = make([]uint64, nb)
-	}
 }
+
+// satEps is the relative tolerance for "this link is saturated at the
+// round's share". The incremental replay uses the same constant when it
+// decides whether an event-path link could have participated in a round.
+const satEps = 1e-12
 
 // Solve computes weighted max-min fair rates for the active (non-done)
 // flows by progressive filling: repeatedly find the most constrained link,
@@ -86,22 +111,9 @@ func (sv *Solver) ensure(nLinks, nFlows int) {
 // unconstrained links keep rate 0, exactly as the map-based implementation
 // did.
 func (sv *Solver) Solve(flows []*Flow, capacities []float64) {
-	sv.solve(flows, capacities, 0, nil)
-}
-
-// solve optionally maintains the earliest completion time among the flows
-// it freezes (now + Size/Rate), sharpening the separate O(active)
-// post-solve scan the simulator used to do into the filling loop itself —
-// a persistent cross-event index is impossible here because every
-// arrival/departure reassigns every rate.
-func (sv *Solver) solve(flows []*Flow, capacities []float64, now float64, nextDone *float64) {
-	sv.ensure(len(capacities), len(flows))
+	sv.ensure(len(capacities))
 	sv.epoch++
-	epoch := sv.epoch
-	// Candidate list: links that can still be a bottleneck, seeded with
-	// each link on first touch. Each filling round scans only this list
-	// (compacting out links whose demand has been fully frozen away)
-	// instead of every link in the graph.
+	ep := fillEpochs.Add(1)
 	cand := sv.cand[:0]
 	remaining := 0
 	for _, f := range flows {
@@ -111,8 +123,8 @@ func (sv *Solver) solve(flows []*Flow, capacities []float64, now float64, nextDo
 		remaining++
 		f.Rate = 0
 		for _, l := range f.Path {
-			if sv.stamp[l] != epoch {
-				sv.stamp[l] = epoch
+			if sv.stamp[l] != sv.epoch {
+				sv.stamp[l] = sv.epoch
 				sv.cap[l] = capacities[l]
 				sv.weight[l] = 0
 				cand = append(cand, int32(l))
@@ -120,14 +132,23 @@ func (sv *Solver) solve(flows []*Flow, capacities []float64, now float64, nextDo
 			sv.weight[l] += f.Weight
 		}
 	}
-	nb := (len(flows) + 63) / 64
-	frozen := sv.frozen[:nb]
-	for i := range frozen {
-		frozen[i] = 0
-	}
+	sv.cand = sv.fill(flows, ep, remaining, cand)
+}
+
+// fill runs the progressive-filling rounds over the given flows, skipping
+// flows already frozen in epoch ep (or done) and marking each flow it
+// freezes with ep. Its per-round arithmetic — the share expression, the
+// saturation tolerance, the freeze order, the subtract-with-clamp — is the
+// contract the incremental solver reproduces bit for bit (see
+// incremental.go).
+func (sv *Solver) fill(flows []*Flow, ep uint64, remaining int, cand []int32) []int32 {
 	for remaining > 0 {
-		// most constrained link: min cap/weight among links with demand
+		// most constrained link: min cap/weight among links with demand.
+		// Each round scans only the candidate list (compacting out links
+		// whose demand has been fully frozen away) instead of every link
+		// in the graph.
 		minShare := math.Inf(1)
+		argmin := int32(-1)
 		live := cand[:0]
 		for _, li := range cand {
 			if sv.weight[li] <= 0 {
@@ -136,6 +157,7 @@ func (sv *Solver) solve(flows []*Flow, capacities []float64, now float64, nextDo
 			live = append(live, li)
 			if s := sv.cap[li] / sv.weight[li]; s < minShare {
 				minShare = s
+				argmin = li
 			}
 		}
 		cand = live
@@ -143,28 +165,25 @@ func (sv *Solver) solve(flows []*Flow, capacities []float64, now float64, nextDo
 			break // leftover flows traverse only unconstrained links
 		}
 		// freeze flows on saturated links at weight×share
-		for fi, f := range flows {
-			if f.done || frozen[fi>>6]&(1<<(fi&63)) != 0 {
+		froze := false
+		for _, f := range flows {
+			if f.done || f.fz == ep {
 				continue
 			}
-			saturated := false
+			sat := int32(-1)
 			for _, l := range f.Path {
-				if sv.weight[l] > 0 && sv.cap[l]/sv.weight[l] <= minShare*(1+1e-12) {
-					saturated = true
+				if sv.weight[l] > 0 && sv.cap[l]/sv.weight[l] <= minShare*(1+satEps) {
+					sat = int32(l)
 					break
 				}
 			}
-			if !saturated {
+			if sat < 0 {
 				continue
 			}
 			f.Rate = f.Weight * minShare
-			frozen[fi>>6] |= 1 << (fi & 63)
+			f.fz = ep
+			froze = true
 			remaining--
-			if nextDone != nil && f.Rate > 0 {
-				if t := now + f.Size/f.Rate; t < *nextDone {
-					*nextDone = t
-				}
-			}
 			for _, l := range f.Path {
 				sv.cap[l] -= f.Rate
 				if sv.cap[l] < 0 {
@@ -173,49 +192,73 @@ func (sv *Solver) solve(flows []*Flow, capacities []float64, now float64, nextDo
 				sv.weight[l] -= f.Weight
 			}
 		}
+		if !froze {
+			// Degenerate round: the argmin carries no unfrozen flow — its
+			// weight is pure floating-point residue from subtracting a
+			// drained link's flows in a different order than they were
+			// accumulated (impossible with integer weights, routine with
+			// fractional ones). Such a link is on no unfrozen flow's path,
+			// so it can never influence a real decision; drain it and move
+			// on. Skipping state-free rounds keeps incremental equivalence:
+			// both solvers skip their own (differently-ordered) residues.
+			sv.weight[argmin] = 0
+		}
 	}
-	sv.cand = cand
+	return cand
 }
 
-// solverPool backs the package-level MaxMinRates so one-shot callers (the
-// oracle comparisons in the ablations) stay cheap without owning a Solver.
-// Solver scratch is epoch-stamped, so a pooled solver's leftover state
-// cannot affect results and pooling does not perturb determinism.
+// solverPool backs the package-level MaxMinRates so one-shot callers stay
+// cheap without owning a Solver. Solver scratch is epoch-stamped, so a
+// pooled solver's leftover state cannot affect results and pooling does
+// not perturb determinism.
 var solverPool = sync.Pool{New: func() any { return &Solver{} }}
 
 // MaxMinRates computes weighted max-min fair rates for flows over the
 // given directed-link capacities. Callers with a hot loop should hold a
-// Solver (or use Simulator, which owns one) instead.
+// Solver (or use Simulator, which owns one) instead: the pool can be
+// emptied by a GC cycle, so this wrapper cannot guarantee 0 allocs/op.
 func MaxMinRates(flows []*Flow, capacities []float64) {
 	sv := solverPool.Get().(*Solver)
 	sv.Solve(flows, capacities)
 	solverPool.Put(sv)
 }
 
-// Simulator advances fluid flows through arrivals and completions.
+// Simulator advances fluid flows through arrivals and completions. Rates
+// are maintained by an Incremental solver (one repair per arrival or
+// completion batch), flow sizes are materialized lazily (only when a
+// flow's rate changes), and the next completion comes from a versioned
+// 4-ary heap — so one event costs O(changed flows), plus the repair,
+// rather than O(active flows).
 type Simulator struct {
 	g          *topology.Graph
 	capacities []float64
 	now        float64
-	active     []*Flow
-	pending    *arrivalHeap
-	solver     *Solver
+	inc        *Incremental
+	pending    []arrival // 4-ary min-heap by (at, seq)
+	comp       []compEnt // 4-ary min-heap by (t, seq); lazily invalidated
+	seq        uint64
+	peakActive int
+
 	// Completed collects finished flows in completion order.
 	Completed []*Flow
+
+	free   []*Flow // recycled flows for AcquireFlow
+	addBuf []*Flow
+	rmBuf  []*Flow
 }
 
 type arrival struct {
 	at   float64
+	seq  uint64
 	flow *Flow
 }
 
-type arrivalHeap []arrival
-
-func (h arrivalHeap) Len() int           { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+type compEnt struct {
+	t    float64
+	seq  uint64
+	ver  uint32
+	flow *Flow
+}
 
 // New creates a fluid simulator over a graph.
 func New(g *topology.Graph) *Simulator {
@@ -223,11 +266,62 @@ func New(g *topology.Graph) *Simulator {
 	for i, l := range g.Links {
 		caps[i] = l.Capacity
 	}
-	return &Simulator{g: g, capacities: caps, pending: &arrivalHeap{}, solver: NewSolver(len(g.Links))}
+	return &Simulator{g: g, capacities: caps, inc: NewIncremental(caps)}
 }
 
 // Now returns the fluid clock.
 func (s *Simulator) Now() float64 { return s.now }
+
+// Active returns the number of in-flight flows.
+func (s *Simulator) Active() int { return len(s.inc.flows) }
+
+// Flows returns the in-flight flows in solver order. The slice is valid
+// until the next AddFlow, Run or Reset and must not be mutated. Run
+// materializes every in-flight flow's Size at its horizon before
+// returning, so after Run the sizes reflect exactly the bits remaining.
+func (s *Simulator) Flows() []*Flow { return s.inc.flows }
+
+// PeakActive returns the high-water mark of concurrently active flows.
+func (s *Simulator) PeakActive() int { return s.peakActive }
+
+// AcquireFlow returns a zeroed Flow, recycling one retired by Reset when
+// available, so a reused Simulator admits flows without allocating.
+func (s *Simulator) AcquireFlow() *Flow {
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free = s.free[:n-1]
+		return f
+	}
+	return &Flow{}
+}
+
+// Reset returns the simulator to time zero for reuse: all flows — pending,
+// active and completed — are recycled into the AcquireFlow free list, and
+// every internal buffer keeps its capacity, so a warm Simulator runs whole
+// workloads without allocating.
+func (s *Simulator) Reset() {
+	for _, a := range s.pending {
+		s.recycle(a.flow)
+	}
+	for _, f := range s.inc.flows {
+		s.recycle(f)
+	}
+	for _, f := range s.Completed {
+		s.recycle(f)
+	}
+	s.pending = s.pending[:0]
+	s.comp = s.comp[:0]
+	s.Completed = s.Completed[:0]
+	s.inc.Reset()
+	s.now = 0
+	s.seq = 0
+	s.peakActive = 0
+}
+
+func (s *Simulator) recycle(f *Flow) {
+	*f = Flow{}
+	s.free = append(s.free, f)
+}
 
 // AddFlow schedules a flow arrival. Size is in bits.
 func (s *Simulator) AddFlow(at float64, f *Flow) error {
@@ -243,77 +337,213 @@ func (s *Simulator) AddFlow(at float64, f *Flow) error {
 	if at < s.now {
 		return fmt.Errorf("flowsim: arrival %v in the past (now %v)", at, s.now)
 	}
-	heap.Push(s.pending, arrival{at: at, flow: f})
+	f.seq = s.seq
+	s.seq++
+	s.pushArrival(arrival{at: at, seq: f.seq, flow: f})
 	return nil
 }
 
 // Run advances until all flows complete or the horizon is reached.
 func (s *Simulator) Run(horizon float64) {
 	for {
-		// next arrival time
 		nextArr := math.Inf(1)
-		if s.pending.Len() > 0 {
-			nextArr = (*s.pending)[0].at
+		if len(s.pending) > 0 {
+			nextArr = s.pending[0].at
 		}
-		if len(s.active) == 0 {
-			if math.IsInf(nextArr, 1) || nextArr > horizon {
-				// idle until the horizon (never move the clock backwards)
-				if horizon > s.now {
-					s.now = horizon
-				}
-				return
-			}
-			s.now = nextArr
-			s.admitArrivals()
-			continue
-		}
-		// recompute rates; the earliest completion among the newly frozen
-		// flows falls out of the same filling pass
-		nextDone := math.Inf(1)
-		s.solver.solve(s.active, s.capacities, s.now, &nextDone)
+		nextDone := s.peekCompletion()
 		next := math.Min(nextArr, nextDone)
 		if next > horizon {
-			s.drainTo(horizon)
+			// idle (or mid-transfer) until the horizon; never move the
+			// clock backwards
+			if horizon > s.now {
+				s.materializeAll(horizon)
+				s.now = horizon
+			}
 			return
 		}
-		s.drainTo(next)
-		s.admitArrivals()
-		s.reapCompleted()
-	}
-}
-
-func (s *Simulator) drainTo(t float64) {
-	dt := t - s.now
-	if dt < 0 {
-		return
-	}
-	for _, f := range s.active {
-		f.Size -= f.Rate * dt
-	}
-	s.now = t
-}
-
-func (s *Simulator) admitArrivals() {
-	for s.pending.Len() > 0 && (*s.pending)[0].at <= s.now+1e-12 {
-		a := heap.Pop(s.pending).(arrival)
-		a.flow.Start = s.now
-		s.active = append(s.active, a.flow)
-	}
-}
-
-func (s *Simulator) reapCompleted() {
-	kept := s.active[:0]
-	for _, f := range s.active {
-		if f.Size <= 1e-6 {
+		s.now = next
+		s.addBuf = s.addBuf[:0]
+		s.rmBuf = s.rmBuf[:0]
+		// completions due now (bitwise ties batch into one repair)
+		for s.peekCompletion() <= next {
+			e := s.popCompletion()
+			f := e.flow
+			f.Size = 0
+			f.updT = s.now
 			f.done = true
 			f.Finish = s.now
 			s.Completed = append(s.Completed, f)
-		} else {
-			kept = append(kept, f)
+			s.rmBuf = append(s.rmBuf, f)
+		}
+		// arrivals due now
+		for len(s.pending) > 0 && s.pending[0].at <= s.now+1e-12 {
+			a := s.popArrival()
+			a.flow.Start = s.now
+			a.flow.updT = s.now
+			s.addBuf = append(s.addBuf, a.flow)
+		}
+		if len(s.addBuf) == 0 && len(s.rmBuf) == 0 {
+			continue
+		}
+		if err := s.inc.Apply(s.addBuf, s.rmBuf); err != nil {
+			// AddFlow validated size/path/weight; the only way here is a
+			// flow admitted twice, which is caller misuse
+			panic("flowsim: " + err.Error())
+		}
+		changed, oldRates := s.inc.Changed()
+		for i, f := range changed {
+			if dt := s.now - f.updT; dt > 0 {
+				f.Size -= oldRates[i] * dt
+				f.updT = s.now
+			}
+			f.ver++
+			if f.Rate > 0 {
+				s.pushCompletion(compEnt{t: s.now + f.Size/f.Rate, seq: f.seq, ver: f.ver, flow: f})
+			}
+		}
+		if n := len(s.inc.flows); n > s.peakActive {
+			s.peakActive = n
 		}
 	}
-	s.active = kept
 }
 
-// Active returns the number of in-flight flows.
-func (s *Simulator) Active() int { return len(s.active) }
+// materializeAll brings every active flow's Size up to time t (used when a
+// Run returns at the horizon, so callers observe consistent sizes).
+func (s *Simulator) materializeAll(t float64) {
+	for _, f := range s.inc.flows {
+		if dt := t - f.updT; dt > 0 {
+			f.Size -= f.Rate * dt
+			f.updT = t
+		}
+	}
+}
+
+// peekCompletion returns the earliest valid completion time, discarding
+// stale heap entries (superseded by a rate change, or already done).
+func (s *Simulator) peekCompletion() float64 {
+	for len(s.comp) > 0 {
+		e := s.comp[0]
+		if e.ver == e.flow.ver && !e.flow.done {
+			return e.t
+		}
+		s.popCompletion()
+	}
+	return math.Inf(1)
+}
+
+// Typed 4-ary heaps: no interface boxing (container/heap pushes cost one
+// allocation per event), shallower than binary, and entries are plain
+// values in reused backing arrays.
+
+func (s *Simulator) pushArrival(a arrival) {
+	s.pending = append(s.pending, a)
+	i := len(s.pending) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !arrivalLess(s.pending[i], s.pending[p]) {
+			break
+		}
+		s.pending[i], s.pending[p] = s.pending[p], s.pending[i]
+		i = p
+	}
+}
+
+func (s *Simulator) popArrival() arrival {
+	h := s.pending
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		best := i
+		for c := 4*i + 1; c <= 4*i+4 && c < n; c++ {
+			if arrivalLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	s.pending = h
+	return top
+}
+
+func arrivalLess(a, b arrival) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) pushCompletion(e compEnt) {
+	// Rate changes supersede completion entries via ver, leaving stale
+	// garbage in the heap. Entries far past the horizon never reach the
+	// top to be lazily discarded, so under heavy churn the heap would
+	// grow by O(changed flows) per event without bound. Each active
+	// undone flow has at most one valid entry, so once the heap exceeds
+	// twice that, at least half is stale: compact in place (amortized
+	// O(1) per push, allocation-free, and order-independent — validity
+	// does not depend on heap position).
+	if len(s.comp) > 2*len(s.inc.flows)+64 {
+		w := 0
+		for _, o := range s.comp {
+			if o.ver == o.flow.ver && !o.flow.done {
+				s.comp[w] = o
+				w++
+			}
+		}
+		s.comp = s.comp[:w]
+		for i := (w - 2) / 4; i >= 0; i-- {
+			s.siftComp(i)
+		}
+	}
+	s.comp = append(s.comp, e)
+	i := len(s.comp) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !compLess(s.comp[i], s.comp[p]) {
+			break
+		}
+		s.comp[i], s.comp[p] = s.comp[p], s.comp[i]
+		i = p
+	}
+}
+
+func (s *Simulator) popCompletion() compEnt {
+	h := s.comp
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.comp = h[:n]
+	s.siftComp(0)
+	return top
+}
+
+func (s *Simulator) siftComp(i int) {
+	h := s.comp
+	n := len(h)
+	for {
+		best := i
+		for c := 4*i + 1; c <= 4*i+4 && c < n; c++ {
+			if compLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+func compLess(a, b compEnt) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}

@@ -267,24 +267,3 @@ func TestFluidOnTreeTopology(t *testing.T) {
 		}
 	}
 }
-
-func BenchmarkFluid1000Flows(b *testing.B) {
-	tt, err := topology.BuildThreeTier(topology.DefaultThreeTier())
-	if err != nil {
-		b.Fatal(err)
-	}
-	r := topology.ComputeRouting(tt.Graph)
-	for i := 0; i < b.N; i++ {
-		s := New(tt.Graph)
-		for j := 0; j < 1000; j++ {
-			src := tt.Clients[j%len(tt.Clients)]
-			dst := tt.Servers[(j*3)%len(tt.Servers)]
-			path, _ := r.Path(src, dst, uint64(j))
-			s.AddFlow(float64(j)*0.001, &Flow{ID: int64(j), Path: path, Size: 1e6})
-		}
-		s.Run(1e6)
-		if len(s.Completed) != 1000 {
-			b.Fatal("incomplete")
-		}
-	}
-}

@@ -1,0 +1,740 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// replayMargin is the relative share margin the repair demands between
+// every dirty link and a recorded round's share before replaying the
+// round. A link's share is non-decreasing under a round's subtractions
+// (s' − s = w·W·(s−m)/(W·(W−w)) ≥ 0), so a dirty link clear of the round's
+// share by this margin — ~1000× the fill loop's satEps, absorbing
+// accumulated rounding — provably cannot saturate mid-round either.
+const replayMargin = 1e-9
+
+// trace records one progressive-filling execution so the next repair can
+// replay unperturbed rounds. Per round it keeps the frozen share, and —
+// via [fStart, next round's fStart) spans into the flat frozen/sat arrays
+// — the flows frozen that round (in freeze order, which fixes the
+// floating-point subtraction order) together with the link that triggered
+// each freeze. sat additionally holds the round's argmin link (recorded
+// even when it froze no flow directly), because an event on the argmin's
+// path changes the round's share even if every freeze was triggered
+// elsewhere.
+type trace struct {
+	rounds []roundRec
+	frozen []*Flow
+	sat    []int32
+}
+
+type roundRec struct {
+	minShare float64
+	fStart   int32 // span start into trace.frozen
+	sStart   int32 // span start into trace.sat
+}
+
+func (tr *trace) reset() {
+	tr.rounds = tr.rounds[:0]
+	tr.frozen = tr.frozen[:0]
+	tr.sat = tr.sat[:0]
+}
+
+func (tr *trace) beginRound(minShare float64, argmin int32) {
+	tr.rounds = append(tr.rounds, roundRec{
+		minShare: minShare,
+		fStart:   int32(len(tr.frozen)),
+		sStart:   int32(len(tr.sat)),
+	})
+	tr.sat = append(tr.sat, argmin)
+}
+
+func (tr *trace) freeze(f *Flow, sat int32) {
+	tr.frozen = append(tr.frozen, f)
+	tr.sat = append(tr.sat, sat)
+}
+
+// spans returns the frozen-flow and sat-link spans of round r.
+func (tr *trace) spans(r int) (frozen []*Flow, sat []int32) {
+	rd := tr.rounds[r]
+	fEnd, sEnd := int32(len(tr.frozen)), int32(len(tr.sat))
+	if r+1 < len(tr.rounds) {
+		fEnd, sEnd = tr.rounds[r+1].fStart, tr.rounds[r+1].sStart
+	}
+	return tr.frozen[rd.fStart:fEnd], tr.sat[rd.sStart:sEnd]
+}
+
+// dirtEnt is a lazy min-heap entry over dirty links, keyed by the share
+// the link had when pushed. Link shares are non-decreasing within a
+// repair, so a stale entry under-estimates — peeks detect the mismatch and
+// re-push the current share, never returning a stale minimum.
+type dirtEnt struct {
+	share float64
+	link  int32
+}
+
+// Incremental maintains a weighted max-min allocation over a mutating flow
+// set, repairing it after each add/remove batch instead of re-solving from
+// scratch. The repair is exact: rates after Apply are bit-for-bit equal to
+// a fresh Solver.Solve over the same flows in the same order (Flows()).
+//
+// Each repair records a trace of its filling rounds. The next repair
+// resets each occupied link's capacity and weight from incrementally
+// maintained sums (bit-identical to the accumulation a full solve would
+// perform — see below) and then walks the recorded rounds,
+// maintaining a set of dirty links — links whose subtraction history has
+// diverged from the recorded run, seeded with the added/removed flows'
+// paths. A recorded round is REPLAYED verbatim when the event provably
+// cannot have touched it: all its frozen flows are still present and
+// unfrozen, none of its saturated links (argmin + freeze triggers) is
+// dirty, and every dirty link's current share clears the round's share by
+// replayMargin. Any other round is computed as a REAL round from current
+// link state: the most-constrained link is found by scanning live links,
+// and the freeze pass runs over only the flows of saturated links (via the
+// persistent link→flows index, merged in flow-slice order, extended
+// mid-round when a subtraction saturates another link) — executing exactly
+// the arithmetic, order, and tolerance of Solver.fill. Flows frozen by
+// real rounds dirty their paths, which is how perturbation propagates; a
+// recorded flow whose freeze is skipped or altered therefore blocks replay
+// (pointer stalls on its round) until it is re-frozen by a real round.
+//
+// The link→flows index and per-link weight sums are maintained
+// incrementally across events, not rebuilt per repair: an add appends to
+// each path link's list and adds its weight on the right of the link's
+// running sum — bit-identical to a fresh left-to-right accumulation,
+// because adds append to the end of the flow order — and a remove splices
+// the link's list and re-sums it in order. Cost per event is therefore
+// O(links + event·hops) bookkeeping plus O(resident·hops) for the replay
+// walk itself, instead of the full O(rounds·flows·hops) re-solve.
+//
+// Flow order is kept stable (removals compact in place, adds append), so
+// the full-solve scan order — which fixes the floating-point subtraction
+// order — matches a fresh Solve over Flows().
+type Incremental struct {
+	caps  []float64 // capacities, referenced not copied; caller keeps it stable
+	sv    *Solver
+	flows []*Flow
+
+	trA, trB trace
+	cur, nxt *trace // double-buffered: cur is replayed, nxt is recorded
+
+	// dirty-link marks (epoch-stamped, O(touched) reset) + lazy min-heap
+	mark      []uint64
+	markEpoch uint64
+	dirt      []dirtEnt
+
+	// persistent link→flows index: per-link flow lists in flow order (so
+	// sorted by pos), the matching left-to-right weight sums, and the list
+	// of occupied links (occPos = index+1 into occ, 0 = absent)
+	linkFl  [][]*Flow
+	weight0 []float64
+	occ     []int32
+	occPos  []int32
+
+	// per-round state for real rounds
+	satStamp []uint64 // per-link: round ID when admitted to the saturated set
+	roundID  uint64
+	candH    []*Flow   // candidate min-heap by pos
+	liveH    []dirtEnt // lazy min-heap over ALL live links, by share
+	satList  []int32   // links popped into the current round's saturated set
+
+	changed    []*Flow
+	changedOld []float64
+	oneAdd     [1]*Flow
+	oneRm      [1]*Flow
+}
+
+// NewIncremental creates an incremental solver over fixed link capacities.
+// The slice is referenced, not copied; the caller must not mutate it.
+func NewIncremental(capacities []float64) *Incremental {
+	in := &Incremental{
+		caps:     capacities,
+		sv:       NewSolver(len(capacities)),
+		mark:     make([]uint64, len(capacities)),
+		linkFl:   make([][]*Flow, len(capacities)),
+		weight0:  make([]float64, len(capacities)),
+		occPos:   make([]int32, len(capacities)),
+		satStamp: make([]uint64, len(capacities)),
+	}
+	in.cur, in.nxt = &in.trA, &in.trB
+	return in
+}
+
+// Flows returns the current active flow list in solver order. Callers must
+// not mutate it; a fresh Solver.Solve over this exact slice reproduces the
+// incremental rates bit for bit.
+func (in *Incremental) Flows() []*Flow { return in.flows }
+
+// Changed returns the flows whose rate was altered by the last Apply
+// (including flows added by it) and, index-aligned, the rate each had
+// before the event (NaN for added flows). Both slices are valid until the
+// next Apply.
+func (in *Incremental) Changed() ([]*Flow, []float64) { return in.changed, in.changedOld }
+
+// Reset drops all flows and recorded state, keeping allocated capacity.
+func (in *Incremental) Reset() {
+	for _, f := range in.flows {
+		f.pos = 0
+	}
+	in.flows = in.flows[:0]
+	for _, l := range in.occ {
+		fl := in.linkFl[l]
+		for i := range fl {
+			fl[i] = nil
+		}
+		in.linkFl[l] = fl[:0]
+		in.weight0[l] = 0
+		in.occPos[l] = 0
+	}
+	in.occ = in.occ[:0]
+	in.cur.reset()
+	in.nxt.reset()
+	in.changed = in.changed[:0]
+	in.changedOld = in.changedOld[:0]
+}
+
+// Add admits one flow and repairs the allocation.
+func (in *Incremental) Add(f *Flow) error {
+	in.oneAdd[0] = f
+	return in.Apply(in.oneAdd[:], nil)
+}
+
+// Remove retires one flow and repairs the allocation.
+func (in *Incremental) Remove(f *Flow) error {
+	in.oneRm[0] = f
+	return in.Apply(nil, in.oneRm[:])
+}
+
+// Apply atomically admits add and retires remove, then repairs the
+// allocation. On error nothing is changed. Duplicate adds, removes of
+// non-active flows, and flows appearing twice across the two lists are
+// rejected.
+func (in *Incremental) Apply(add, remove []*Flow) error {
+	if err := in.validate(add, remove); err != nil {
+		return err
+	}
+	in.markEpoch++
+	me := in.markEpoch
+	for _, f := range remove {
+		// splice the flow out of each path link's list while its claimed
+		// pos (negated by validate) still identifies it, and restore the
+		// link's weight sum by re-summing the list in order — the exact
+		// accumulation a fresh solve would perform
+		for _, l := range f.Path {
+			in.mark[l] = me
+			in.unlink(int32(l), -f.pos)
+		}
+	}
+	for _, f := range add {
+		for _, l := range f.Path {
+			in.mark[l] = me
+		}
+		// NaN ≠ anything, so added flows always land in the changed list
+		f.Rate = math.NaN()
+	}
+	if len(remove) > 0 {
+		// order-preserving compaction keeps the full-solve scan order
+		w := 0
+		for _, f := range in.flows {
+			if f.pos < 0 { // claimed for removal by validate
+				f.pos = 0
+				continue
+			}
+			in.flows[w] = f
+			w++
+			f.pos = w
+		}
+		in.flows = in.flows[:w]
+	}
+	for _, f := range add {
+		in.flows = append(in.flows, f)
+		f.pos = len(in.flows)
+		for _, l := range f.Path {
+			if in.occPos[l] == 0 {
+				in.occ = append(in.occ, int32(l))
+				in.occPos[l] = int32(len(in.occ))
+			}
+			in.linkFl[l] = append(in.linkFl[l], f)
+			// appending on the right of the running sum is bit-identical
+			// to a fresh left-to-right accumulation over the new list
+			in.weight0[l] += f.Weight
+		}
+	}
+	in.repair()
+	return nil
+}
+
+// unlink removes the flow claimed at position pos (pre-compaction, so the
+// lists' |pos| order is intact) from link l's flow list, re-sums the
+// link's weight in list order, and retires the link from the occupied set
+// when its list empties.
+func (in *Incremental) unlink(l int32, pos int) {
+	fl := in.linkFl[l]
+	// claimed flows carry negated pos, so compare magnitudes
+	i := sort.Search(len(fl), func(i int) bool {
+		p := fl[i].pos
+		if p < 0 {
+			p = -p
+		}
+		return p >= pos
+	})
+	copy(fl[i:], fl[i+1:])
+	fl[len(fl)-1] = nil
+	fl = fl[:len(fl)-1]
+	in.linkFl[l] = fl
+	if len(fl) == 0 {
+		in.weight0[l] = 0
+		p := in.occPos[l]
+		last := in.occ[len(in.occ)-1]
+		in.occ[p-1] = last
+		in.occPos[last] = p
+		in.occ = in.occ[:len(in.occ)-1]
+		in.occPos[l] = 0
+		return
+	}
+	s := 0.0
+	for _, g := range fl {
+		s += g.Weight
+	}
+	in.weight0[l] = s
+}
+
+// validate checks the batch atomically, using pos as a claim marker so
+// duplicates within and across the two lists are caught: an active flow
+// has pos = index+1, an inactive one pos = 0; claims flip the sign
+// (removes) or set -1 (adds). On error all claims are rolled back.
+func (in *Incremental) validate(add, remove []*Flow) error {
+	rollback := func(na, nr int) {
+		for _, f := range add[:na] {
+			f.pos = 0
+		}
+		for _, f := range remove[:nr] {
+			f.pos = -f.pos
+		}
+	}
+	for i, f := range remove {
+		if f.pos <= 0 {
+			rollback(0, i)
+			if f.pos < 0 {
+				return fmt.Errorf("incremental: flow %d removed twice", f.ID)
+			}
+			return fmt.Errorf("incremental: flow %d not active", f.ID)
+		}
+		f.pos = -f.pos
+	}
+	for i, f := range add {
+		if f.pos != 0 {
+			rollback(i, len(remove))
+			return fmt.Errorf("incremental: flow %d already active", f.ID)
+		}
+		if len(f.Path) == 0 {
+			rollback(i, len(remove))
+			return fmt.Errorf("incremental: flow %d empty path", f.ID)
+		}
+		if f.Weight <= 0 {
+			rollback(i, len(remove))
+			return fmt.Errorf("incremental: flow %d weight %v", f.ID, f.Weight)
+		}
+		f.pos = -1
+	}
+	return nil
+}
+
+// repair re-establishes the exact max-min allocation after the flow list
+// changed: replay clean recorded rounds, recompute perturbed ones.
+func (in *Incremental) repair() {
+	sv := in.sv
+	me := in.markEpoch
+	sv.ensure(len(in.caps))
+	sv.epoch++
+	ep := fillEpochs.Add(1)
+	in.changed = in.changed[:0]
+	in.changedOld = in.changedOld[:0]
+
+	// Reset each occupied link's state from the maintained weight sums
+	// (bit-identical to the fresh accumulation a full solve would do —
+	// see the type comment), seed the dirty heap with event-path links,
+	// and heapify the live-link heap over every occupied link.
+	in.dirt = in.dirt[:0]
+	in.liveH = in.liveH[:0]
+	for _, l := range in.occ {
+		sv.stamp[l] = sv.epoch
+		sv.cap[l] = in.caps[l]
+		sv.weight[l] = in.weight0[l]
+		s := sv.cap[l] / sv.weight[l]
+		in.liveH = append(in.liveH, dirtEnt{s, l})
+		if in.mark[l] == me {
+			in.pushDirt(dirtEnt{s, l})
+		}
+	}
+	for i := len(in.liveH)/2 - 1; i >= 0; i-- {
+		in.siftLive(i)
+	}
+
+	in.nxt.reset()
+	remaining := len(in.flows)
+	r := 0 // pointer into cur.rounds
+	for remaining > 0 {
+		// advance past recorded rounds whose every flow is consumed:
+		// frozen this repair (replayed or re-frozen by a real round,
+		// which dirtied its links if the bits differed) or removed
+		// (pos == 0; its links are dirty by construction)
+		for r < len(in.cur.rounds) {
+			span, _ := in.cur.spans(r)
+			done := true
+			for _, f := range span {
+				if f.pos != 0 && f.fz != ep {
+					done = false
+					break
+				}
+			}
+			if !done {
+				break
+			}
+			r++
+		}
+		if r < len(in.cur.rounds) && in.replayable(r, ep, me) {
+			m := in.cur.rounds[r].minShare
+			span, sat := in.cur.spans(r)
+			in.nxt.beginRound(m, sat[0])
+			for i, f := range span {
+				// a replayed freeze rewrites the rate the flow already has
+				// (same weight, same recorded share), so the comparison
+				// below is a no-op in practice — kept for robustness
+				if nr := f.Weight * m; f.Rate != nr {
+					in.changed = append(in.changed, f)
+					in.changedOld = append(in.changedOld, f.Rate)
+					f.Rate = nr
+				}
+				f.fz = ep
+				remaining--
+				in.nxt.freeze(f, sat[i+1])
+				for _, l := range f.Path {
+					sv.cap[l] -= f.Rate
+					if sv.cap[l] < 0 {
+						sv.cap[l] = 0
+					}
+					sv.weight[l] -= f.Weight
+				}
+			}
+			r++
+			continue
+		}
+		if !in.realRound(ep, me, &remaining) {
+			// no live links left: leftover flows keep rate 0, exactly as
+			// the full solve leaves flows on unconstrained links
+			for _, f := range in.flows {
+				if f.fz != ep && f.Rate != 0 {
+					// NaN (an added flow) never compares equal to 0
+					in.changed = append(in.changed, f)
+					in.changedOld = append(in.changedOld, f.Rate)
+					f.Rate = 0
+				}
+			}
+			break
+		}
+	}
+	in.cur, in.nxt = in.nxt, in.cur
+}
+
+// replayable reports whether recorded round r provably unfolds exactly as
+// recorded: every frozen flow still present and unfrozen, every saturated
+// link clean, and every dirty link's share clear of the round's share by
+// replayMargin (shares are non-decreasing within a repair, so this holds
+// through the round's own subtractions too).
+func (in *Incremental) replayable(r int, ep uint64, me uint64) bool {
+	span, sat := in.cur.spans(r)
+	for _, f := range span {
+		if f.pos == 0 || f.fz == ep {
+			return false
+		}
+	}
+	for _, l := range sat {
+		if in.mark[l] == me {
+			return false
+		}
+	}
+	return in.dirtyMin(me) > in.cur.rounds[r].minShare*(1+replayMargin)
+}
+
+// dirtyMin returns the minimum current share among live dirty links,
+// repairing stale heap entries on the way (stale keys under-estimate, so
+// they are popped and re-pushed with the current share).
+func (in *Incremental) dirtyMin(me uint64) float64 {
+	sv := in.sv
+	for len(in.dirt) > 0 {
+		e := in.dirt[0]
+		l := e.link
+		if sv.stamp[l] != sv.epoch || sv.weight[l] <= 0 {
+			in.popDirt()
+			continue
+		}
+		s := sv.cap[l] / sv.weight[l]
+		if s != e.share {
+			in.popDirt()
+			in.pushDirt(dirtEnt{s, l})
+			continue
+		}
+		return s
+	}
+	return math.Inf(1)
+}
+
+// realRound executes one true progressive-filling round from current link
+// state: find the most-constrained live link via the lazy live-link heap,
+// then run the freeze pass in flow-slice order over the flows of
+// saturated links only — bit-identical to Solver.fill's full scan,
+// because flows off every saturated link cannot freeze and saturation
+// arising mid-round admits the affected link's later-positioned flows
+// into the pass. Flows frozen here dirty their paths. Returns false when
+// no live link remains.
+func (in *Incremental) realRound(ep, me uint64, remaining *int) bool {
+	sv := in.sv
+	minShare, argmin, ok := in.liveMin()
+	if !ok {
+		return false
+	}
+	in.roundID++
+	in.candH = in.candH[:0]
+	in.satList = in.satList[:0]
+	// pop every link already at the round's share into the saturated set;
+	// survivors with capacity left are re-pushed after the freeze pass
+	thresh := minShare * (1 + satEps)
+	for {
+		s, l, ok := in.liveMin()
+		if !ok || s > thresh {
+			break
+		}
+		in.popLive()
+		in.satList = append(in.satList, l)
+		in.admitSat(l, 0)
+	}
+	froze := false
+	lastPos := 0
+	for len(in.candH) > 0 {
+		f := in.popCand()
+		lastPos = f.pos
+		if f.fz == ep {
+			continue
+		}
+		sat := int32(-1)
+		for _, l := range f.Path {
+			if sv.weight[l] > 0 && sv.cap[l]/sv.weight[l] <= minShare*(1+satEps) {
+				sat = int32(l)
+				break
+			}
+		}
+		if sat < 0 {
+			continue
+		}
+		if !froze {
+			in.nxt.beginRound(minShare, argmin)
+			froze = true
+		}
+		if nr := f.Weight * minShare; f.Rate != nr {
+			in.changed = append(in.changed, f)
+			in.changedOld = append(in.changedOld, f.Rate)
+			f.Rate = nr
+		}
+		f.fz = ep
+		*remaining--
+		in.nxt.freeze(f, sat)
+		for _, l := range f.Path {
+			sv.cap[l] -= f.Rate
+			if sv.cap[l] < 0 {
+				sv.cap[l] = 0
+			}
+			sv.weight[l] -= f.Weight
+			// the flow's freeze diverges from (or extends) the recorded
+			// history of every link it touches
+			if in.mark[l] != me {
+				in.mark[l] = me
+				if sv.weight[l] > 0 {
+					in.pushDirt(dirtEnt{sv.cap[l] / sv.weight[l], int32(l)})
+				}
+			}
+			// a subtraction can saturate another link mid-pass; its flows
+			// positioned after the current one join this round's pass,
+			// exactly as the full scan would encounter them
+			if in.satStamp[l] != in.roundID && sv.weight[l] > 0 &&
+				sv.cap[l]/sv.weight[l] <= minShare*(1+satEps) {
+				in.admitSat(int32(l), lastPos)
+			}
+		}
+	}
+	if !froze {
+		// degenerate round: the argmin carries no unfrozen flow — its
+		// weight is floating-point residue (see Solver.fill); drain it
+		sv.weight[argmin] = 0
+	}
+	for _, l := range in.satList {
+		if sv.weight[l] > 0 {
+			in.pushLive(dirtEnt{sv.cap[l] / sv.weight[l], l})
+		}
+	}
+	return true
+}
+
+// liveMin peeks the live-link heap, lazily discarding drained links and
+// re-keying entries whose share moved since they were pushed, and returns
+// the current global minimum share with its link.
+func (in *Incremental) liveMin() (float64, int32, bool) {
+	sv := in.sv
+	for len(in.liveH) > 0 {
+		e := in.liveH[0]
+		l := e.link
+		if sv.weight[l] <= 0 {
+			in.popLive()
+			continue
+		}
+		s := sv.cap[l] / sv.weight[l]
+		if s != e.share {
+			in.popLive()
+			in.pushLive(dirtEnt{s, l})
+			continue
+		}
+		return e.share, l, true
+	}
+	return 0, -1, false
+}
+
+// admitSat adds link l to the round's saturated set and its flows with
+// pos > afterPos to the candidate heap. Flows at or before afterPos were
+// already passed by this round's scan, so admitting them would freeze
+// flows the full solve's single ordered pass had already skipped.
+func (in *Incremental) admitSat(l int32, afterPos int) {
+	in.satStamp[l] = in.roundID
+	fl := in.linkFl[l]
+	i := 0
+	if afterPos > 0 {
+		i = sort.Search(len(fl), func(i int) bool { return fl[i].pos > afterPos })
+	}
+	for ; i < len(fl); i++ {
+		in.pushCand(fl[i])
+	}
+}
+
+// Candidate min-heap by flow position (binary; entries are few per round).
+
+func (in *Incremental) pushCand(f *Flow) {
+	h := append(in.candH, f)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].pos <= h[i].pos {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	in.candH = h
+}
+
+func (in *Incremental) popCand() *Flow {
+	h := in.candH
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		best, l, r := i, 2*i+1, 2*i+2
+		if l < n && h[l].pos < h[best].pos {
+			best = l
+		}
+		if r < n && h[r].pos < h[best].pos {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	in.candH = h
+	return top
+}
+
+// Dirty-link min-heap by pushed share.
+
+func (in *Incremental) pushDirt(e dirtEnt) {
+	h := append(in.dirt, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].share <= h[i].share {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	in.dirt = h
+}
+
+func (in *Incremental) popDirt() {
+	h := in.dirt
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		best, l, r := i, 2*i+1, 2*i+2
+		if l < n && h[l].share < h[best].share {
+			best = l
+		}
+		if r < n && h[r].share < h[best].share {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	in.dirt = h
+}
+
+// Live-link min-heap by share (lazy; see liveMin).
+
+func (in *Incremental) pushLive(e dirtEnt) {
+	h := append(in.liveH, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].share <= h[i].share {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	in.liveH = h
+}
+
+func (in *Incremental) popLive() {
+	h := in.liveH
+	n := len(h) - 1
+	h[0] = h[n]
+	in.liveH = h[:n]
+	in.siftLive(0)
+}
+
+func (in *Incremental) siftLive(i int) {
+	h := in.liveH
+	n := len(h)
+	for {
+		best, l, r := i, 2*i+1, 2*i+2
+		if l < n && h[l].share < h[best].share {
+			best = l
+		}
+		if r < n && h[r].share < h[best].share {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}

@@ -62,6 +62,18 @@ func (s *Spec) topologySpec() (topology.ThreeTierSpec, error) {
 	return tt, nil
 }
 
+// engineKind resolves the spec's simulation backend.
+func (s *Spec) engineKind() (string, error) {
+	switch s.Engine {
+	case "", EnginePacket:
+		return EnginePacket, nil
+	case EngineFluid:
+		return EngineFluid, nil
+	default:
+		return "", fmt.Errorf("scenario %s: unknown engine %q (want %s or %s)", s.Name, s.Engine, EnginePacket, EngineFluid)
+	}
+}
+
 // systemKind resolves the system block's kind.
 func (s *Spec) systemKind() (cluster.System, error) {
 	switch s.System.Kind {

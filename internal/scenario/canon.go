@@ -32,6 +32,12 @@ func (s *Spec) CanonicalJSON() ([]byte, error) {
 	// keeps number literals verbatim instead of lossy float64.
 	c := *s
 	c.Description = ""
+	// "packet" is the engine default: a spec writing it explicitly is the
+	// same experiment as one omitting it, and pre-engine spec files must
+	// keep their hashes, so the default canonicalizes to absent
+	if c.Engine == EnginePacket {
+		c.Engine = ""
+	}
 	b, err := json.Marshal(&c)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: canonicalizing %s: %w", s.Name, err)

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/flowsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// fluidThptBinSeconds is the throughput time-series bin width for fluid
+// runs, matching the packet engine's cluster.DefaultConfig default.
+const fluidThptBinSeconds = 1
+
+// runFluid executes a fluid-engine spec: the workload program is lowered
+// onto routed max-min fluid flows (workload.FluidMapper standing in for
+// the storage layer) and simulated by internal/flowsim, then reduced to
+// the exact output schema the packet engine emits — same summary keys
+// (cluster-only counters zero), same series kinds — so everything
+// downstream of Run (CLIs, bench harness, the scda-serve job/group/cache
+// stack) serves fluid results unchanged.
+//
+// The throughput series integrates each flow's delivered bits uniformly
+// over its lifetime (fluid rates are per-flow averages, not the packet
+// engine's per-delivery samples); FCT-derived outputs are exact. Like the
+// packet path, the run is deterministic: one spec, one byte-identical
+// Result.
+func runFluid(s *Spec) (*Result, error) {
+	ttSpec, err := s.topologySpec()
+	if err != nil {
+		return nil, err
+	}
+	tt, err := topology.BuildThreeTier(ttSpec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	prog, err := s.BuildWorkload()
+	if err != nil {
+		return nil, err
+	}
+	reqs := prog.Generate(sim.NewRNG(s.Seed), s.Duration)
+	mapper := workload.NewFluidMapper(tt)
+	flows, err := mapper.Map(nil, reqs)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+
+	fs := flowsim.New(tt.Graph)
+	for i := range flows {
+		f := fs.AcquireFlow()
+		f.ID = int64(i)
+		f.Path = flows[i].Path
+		f.Size = flows[i].SizeBits
+		if err := fs.AddFlow(flows[i].At, f); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	horizon := s.horizonOrDefault()
+	fs.Run(horizon)
+
+	m := &cluster.Metrics{
+		ThptBins:  stats.NewTimeBins(fluidThptBinSeconds),
+		Started:   len(flows),
+		Completed: len(fs.Completed),
+	}
+	for _, f := range fs.Completed {
+		fl := &flows[f.ID]
+		m.Records = append(m.Records, cluster.FlowRecord{
+			Size:  int64(fl.SizeBits / 8),
+			Start: f.Start,
+			FCT:   f.Finish - f.Start,
+			Op:    fl.Op,
+		})
+		spreadBits(m, f.Start, f.Finish, fl.SizeBits)
+	}
+	// flows still in flight at the horizon contributed their delivered
+	// bits (Run materializes every Size at the horizon) but no FCT record
+	for _, f := range fs.Flows() {
+		fl := &flows[f.ID]
+		spreadBits(m, f.Start, horizon, fl.SizeBits-f.Size)
+	}
+
+	r := assembleResult(s, m, reqs, "Fluid")
+	r.Summary["energy_kj"] = 0
+	r.Summary["failed_servers"] = 0
+	r.Summary["skipped_requests"] = float64(mapper.Skipped())
+	r.Summary["peak_active_flows"] = float64(fs.PeakActive())
+	return r, nil
+}
+
+// spreadBits books a flow's delivered bits into the throughput bins,
+// spread uniformly over [start, end], and counts the flow active in every
+// bin it overlaps — the fluid analogue of the packet path's per-delivery
+// accounting.
+func spreadBits(m *cluster.Metrics, start, end, bits float64) {
+	if bits <= 0 {
+		return
+	}
+	markActive := func(bin int) {
+		for len(m.ActiveFlows) <= bin {
+			m.ActiveFlows = append(m.ActiveFlows, 0)
+		}
+		m.ActiveFlows[bin]++
+	}
+	w := m.ThptBins.Width()
+	if end <= start {
+		m.ThptBins.Add(start, bits)
+		markActive(int(start / w))
+		return
+	}
+	rate := bits / (end - start)
+	for b := int(start / w); float64(b)*w < end; b++ {
+		lo, hi := float64(b)*w, float64(b+1)*w
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi <= lo {
+			continue
+		}
+		m.ThptBins.Add(lo, rate*(hi-lo))
+		markActive(b)
+	}
+}

@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEngineValidation(t *testing.T) {
+	// accepted spellings
+	for _, extra := range []string{"", `"engine": "packet"`, `"engine": "fluid"`} {
+		if _, err := Parse(strings.NewReader(specJSON(extra))); err != nil {
+			t.Errorf("engine %q rejected: %v", extra, err)
+		}
+	}
+	// unknown engine names fail loudly at parse time
+	if _, err := Parse(strings.NewReader(specJSON(`"engine": "quantum"`))); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") {
+		t.Errorf("unknown engine: got %v, want unknown-engine error", err)
+	}
+}
+
+func TestEngineFluidRejectsPacketOnlyOptions(t *testing.T) {
+	// Every packet- or control-plane knob must be rejected under the fluid
+	// engine with an error that names the knob and the fix, instead of
+	// silently simulating a spec the fluid model cannot honour.
+	cases := map[string]string{
+		`"system": {"kind": "randtcp"}`:                             "requires engine packet",
+		`"system": {"sjf": true}`:                                   "system.sjf requires engine packet",
+		`"system": {"powerAware": true}`:                            "system.powerAware requires engine packet",
+		`"system": {"rscale": 1e6}`:                                 "system.rscale requires engine packet",
+		`"system": {"rscale": 1e6, "migrateInterval": 5}`:           "system.migrateInterval requires engine packet",
+		`"system": {"replicate": true}`:                             "system.replicate requires engine packet",
+		`"system": {"controlDelay": 0.01}`:                          "system.controlDelay requires engine packet",
+		`"system": {"nns": 1}`:                                      "system.nns requires engine packet",
+		`"faults": [{"at": 5, "kind": "fail-server", "server": 0}]`: "faults require engine packet",
+	}
+	for extra, want := range cases {
+		doc := specJSON(`"engine": "fluid", ` + extra)
+		_, err := Parse(strings.NewReader(doc))
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("fluid + %s: got %v, want error containing %q", extra, err, want)
+		}
+		// the same option under the packet engine stays valid
+		if _, perr := Parse(strings.NewReader(specJSON(extra))); perr != nil {
+			t.Errorf("packet + %s unexpectedly invalid: %v", extra, perr)
+		}
+	}
+}
+
+func TestEnginePacketHashCompatibility(t *testing.T) {
+	// An explicit "engine": "packet" is the default spelled out: it must
+	// canonicalize — and therefore hash — byte-identically to a pre-engine
+	// spec that omits the field, so existing result caches stay warm.
+	old := mustParse(t, specJSON(""))
+	explicit := mustParse(t, specJSON(`"engine": "packet"`))
+	co, err := old.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := explicit.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(co) != string(ce) {
+		t.Fatalf("explicit packet engine changes canonical bytes:\n%s\n%s", co, ce)
+	}
+	if strings.Contains(string(co), "engine") {
+		t.Fatalf("canonical form of a packet spec mentions engine: %s", co)
+	}
+	if mustHash(t, old) != mustHash(t, explicit) {
+		t.Fatal("explicit packet engine changes the hash")
+	}
+	// fluid is a different experiment and must hash differently
+	if mustHash(t, mustParse(t, specJSON(`"engine": "fluid"`))) == mustHash(t, old) {
+		t.Fatal("fluid engine shares the packet hash")
+	}
+}
+
+func TestRunFluidEndToEnd(t *testing.T) {
+	s := mustParse(t, specJSON(`"engine": "fluid"`))
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests == 0 || r.Summary["started"] == 0 {
+		t.Fatalf("fluid run moved no traffic: %+v", r.Summary)
+	}
+	if r.Summary["completed"] == 0 {
+		t.Fatal("fluid run completed no flows")
+	}
+	// same series schema as the packet engine: all three kinds, populated
+	if len(r.Groups) != 3 {
+		t.Fatalf("got %d series groups, want 3", len(r.Groups))
+	}
+	kinds := map[string]bool{}
+	for _, g := range r.Groups {
+		kinds[g.Kind] = true
+		if len(g.Series) != 1 || g.Series[0].Name != "Fluid" {
+			t.Fatalf("group %s: series %+v, want one named Fluid", g.Kind, g.Series)
+		}
+		if len(g.Series[0].Points) == 0 {
+			t.Fatalf("group %s has no points", g.Kind)
+		}
+	}
+	for _, k := range []string{OutThroughput, OutFCTCDF, OutAFCT} {
+		if !kinds[k] {
+			t.Fatalf("missing series kind %s", k)
+		}
+	}
+	// summary carries the packet engine's keys (cluster-only ones zero)
+	for _, k := range []string{"requests", "started", "completed", "drops",
+		"violations", "energy_kj", "failed_servers", "mean_fct_s"} {
+		if _, ok := r.Summary[k]; !ok {
+			t.Fatalf("summary missing %s: %+v", k, r.Summary)
+		}
+	}
+}
+
+func TestRunFluidDeterministic(t *testing.T) {
+	s := mustParse(t, specJSON(`"engine": "fluid"`))
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Summary) != len(b.Summary) {
+		t.Fatal("summaries differ in size")
+	}
+	for k, v := range a.Summary {
+		if b.Summary[k] != v {
+			t.Fatalf("summary %s: %v vs %v", k, v, b.Summary[k])
+		}
+	}
+	for g := range a.Groups {
+		pa, pb := a.Groups[g].Series[0].Points, b.Groups[g].Series[0].Points
+		if len(pa) != len(pb) {
+			t.Fatalf("group %s point counts differ", a.Groups[g].Kind)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("group %s point %d: %+v vs %+v", a.Groups[g].Kind, i, pa[i], pb[i])
+			}
+		}
+	}
+}

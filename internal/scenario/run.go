@@ -58,6 +58,9 @@ func Run(s *Spec) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if eng, _ := s.engineKind(); eng == EngineFluid {
+		return runFluid(s)
+	}
 	cfg, err := s.ClusterConfig()
 	if err != nil {
 		return nil, err
@@ -82,8 +85,24 @@ func Run(s *Spec) (*Result, error) {
 	}
 	m := c.RunWorkload(reqs, s.horizonOrDefault())
 
-	r := &Result{Spec: s, Requests: len(reqs), reqs: reqs}
 	c.Power.AccrueAll(c.Sim.Now())
+	sysName := "SCDA"
+	if cfg.System == cluster.RandTCP {
+		sysName = "RandTCP"
+	}
+	r := assembleResult(s, m, reqs, sysName)
+	r.Summary["energy_kj"] = c.Power.TotalEnergy() / 1e3
+	r.Summary["failed_servers"] = float64(failed)
+	return r, nil
+}
+
+// assembleResult reduces a run's metrics to the Result schema — the shared
+// tail of the packet and fluid paths, which is what keeps the two engines'
+// output series and summary keys identical by construction. Engine- or
+// cluster-specific summary entries (energy, failed servers) are added by
+// the caller afterwards.
+func assembleResult(s *Spec, m *cluster.Metrics, reqs []workload.Request, sysName string) *Result {
+	r := &Result{Spec: s, Requests: len(reqs), reqs: reqs}
 	cdf := m.FCTCDF()
 	r.Summary = map[string]float64{
 		"requests":           float64(len(reqs)),
@@ -91,8 +110,6 @@ func Run(s *Spec) (*Result, error) {
 		"completed":          float64(m.Completed),
 		"drops":              float64(m.Drops),
 		"violations":         float64(m.Violations),
-		"energy_kj":          c.Power.TotalEnergy() / 1e3,
-		"failed_servers":     float64(failed),
 		"lost_blocks":        float64(m.LostBlocks),
 		"rereplicated":       float64(m.ReReplicated),
 		"unrecovered_blocks": float64(m.UnrecoveredBlocks),
@@ -103,11 +120,6 @@ func Run(s *Spec) (*Result, error) {
 		r.Summary["median_fct_s"] = cdf.Quantile(0.5)
 		r.Summary["p90_fct_s"] = cdf.Quantile(0.9)
 		r.Summary["p99_fct_s"] = cdf.Quantile(0.99)
-	}
-
-	sysName := "SCDA"
-	if cfg.System == cluster.RandTCP {
-		sysName = "RandTCP"
 	}
 	for _, kind := range s.outputSeries() {
 		g := SeriesGroup{Kind: kind}
@@ -132,7 +144,7 @@ func Run(s *Spec) (*Result, error) {
 		}
 		r.Groups = append(r.Groups, g)
 	}
-	return r, nil
+	return r
 }
 
 // outputSeries resolves the requested series kinds (default: all three).

@@ -60,6 +60,12 @@ type Spec struct {
 	// Horizon is the simulation end, letting in-flight transfers drain;
 	// 0 defaults to 3× Duration.
 	Horizon float64 `json:"horizon,omitempty"`
+	// Engine selects the simulation backend: "packet" (default, the
+	// full discrete-event cluster) or "fluid" (max-min fluid flows via
+	// internal/flowsim — orders of magnitude faster, scales to 100k+
+	// concurrent transfers, but models no packet/control-plane effects,
+	// so packet-only system knobs and faults are rejected under it).
+	Engine string `json:"engine,omitempty"`
 
 	Topology TopologySpec `json:"topology"`
 	System   SystemSpec   `json:"system"`
@@ -151,6 +157,19 @@ type FaultSpec struct {
 	// Server indexes the topology's block-server list (rack-major order).
 	Server int `json:"server"`
 }
+
+// Engine kinds: the simulation backends a scenario can select.
+const (
+	// EnginePacket is the full discrete-event cluster simulation — every
+	// spec feature is available. Omitting "engine" means packet, and the
+	// canonical encoding treats an explicit "packet" as the omitted
+	// default, so pre-engine specs keep their content hashes.
+	EnginePacket = "packet"
+	// EngineFluid runs the workload as max-min fluid flows on the
+	// topology (internal/flowsim): no packets, no control plane, no
+	// storage — just arrival-ordered transfers sharing link capacity.
+	EngineFluid = "fluid"
+)
 
 // FailServer is the fault kind that takes a block server out of service
 // (cluster.FailServer): selection excludes it and orphaned blocks
@@ -276,6 +295,36 @@ func (s *Spec) Validate() error {
 	}
 	if _, err := s.systemKind(); err != nil {
 		return err
+	}
+	eng, err := s.engineKind()
+	if err != nil {
+		return err
+	}
+	if eng == EngineFluid {
+		// every knob below shapes packet- or control-plane behavior the
+		// fluid model does not have; accepting one would silently run a
+		// plain fluid simulation while the spec claims otherwise
+		if sys, _ := s.systemKind(); sys != cluster.SCDA {
+			return fmt.Errorf("scenario %s: system.kind %s requires engine packet", s.Name, s.System.Kind)
+		}
+		switch {
+		case s.System.SJF:
+			return fmt.Errorf("scenario %s: system.sjf requires engine packet", s.Name)
+		case s.System.PowerAware:
+			return fmt.Errorf("scenario %s: system.powerAware requires engine packet", s.Name)
+		case s.System.MigrateInterval > 0:
+			return fmt.Errorf("scenario %s: system.migrateInterval requires engine packet", s.Name)
+		case s.System.Rscale > 0:
+			return fmt.Errorf("scenario %s: system.rscale requires engine packet", s.Name)
+		case s.System.Replicate:
+			return fmt.Errorf("scenario %s: system.replicate requires engine packet", s.Name)
+		case s.System.ControlDelay > 0:
+			return fmt.Errorf("scenario %s: system.controlDelay requires engine packet", s.Name)
+		case s.System.NNS != 0:
+			return fmt.Errorf("scenario %s: system.nns requires engine packet", s.Name)
+		case len(s.Faults) > 0:
+			return fmt.Errorf("scenario %s: faults require engine packet", s.Name)
+		}
 	}
 	if s.System.NNS < 0 {
 		return fmt.Errorf("scenario %s: system.nns = %d", s.Name, s.System.NNS)

@@ -7,7 +7,10 @@
 #
 # The micro-benchmarks (BenchmarkEventLoop, BenchmarkMaxMinRates,
 # BenchmarkPacketForwarding, BenchmarkFluid1000Flows) measure the three hot
-# layers in isolation; BenchmarkServiceSubmitCached is the scda-serve
+# layers in isolation; BenchmarkChurn tracks the incremental max-min
+# solver's per-event repair against the full re-solve baseline at 10k
+# flows (the "incremental" rows must stay well under the "full" row) and
+# its scaling at 100k; BenchmarkServiceSubmitCached is the scda-serve
 # cache hot path (HTTP submit of an already-cached spec, no simulation) and
 # BenchmarkServiceGroupSubmitCached its job-group counterpart (a sweep
 # expanded server-side, every variant a cache hit);
@@ -23,7 +26,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached' \
+    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkChurn|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached' \
     -benchmem ./internal/sim ./internal/flowsim ./internal/netsim ./internal/service | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkAllFiguresSerial' -benchtime=1x -benchmem . | tee -a "$tmp"
 

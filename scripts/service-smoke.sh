@@ -10,8 +10,11 @@
 # power-save sweep spec, submits the same spec to /v1/groups, and
 # byte-diffs the group's aggregate CSVs against the bench's per-variant
 # files concatenated in expansion order; a second group submission must be
-# all cache hits. CI runs this as the service-smoke job; it needs only
-# curl, grep, sed and diff beyond the go toolchain.
+# all cache hits. Finally the fluid-engine leg: the same submit/poll/diff
+# cycle over an "engine": "fluid" spec, proving the service serves fluid
+# results byte-identical to the CLI with zero service-layer special
+# casing. CI runs this as the service-smoke job; it needs only curl,
+# grep, sed and diff beyond the go toolchain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -122,5 +125,51 @@ printf '%s' "$gresp2" | grep -q '"cacheHits": *3' \
     || { echo "second group submission was not fully cached: $gresp2"; exit 1; }
 curl -fsS "$base/metrics" | grep -E '^scda_groups_done_total\{state="done"\} [1-9]' >/dev/null \
     || { echo "metrics did not record the finished groups"; exit 1; }
+
+# The fluid-engine leg: the service must serve a fluid-backend scenario
+# through the identical job/cache path, byte-identical to the CLI. The
+# spec is small (hundreds of flows) so the smoke stays fast; the shipped
+# scenarios/fluid-100k.json is the scale version of the same engine.
+fspec="$tmp/fluid-smoke.json"
+cat > "$fspec" <<'EOF'
+{
+  "version": 1,
+  "name": "fluid-smoke",
+  "seed": 7,
+  "duration": 5,
+  "engine": "fluid",
+  "workload": [
+    {"generator": "pareto", "params": {"ArrivalRate": 60}}
+  ]
+}
+EOF
+
+echo "== reference fluid run: scda-sim -scenario $fspec"
+"$tmp/scda-sim" -scenario "$fspec" -out "$tmp/cli" >/dev/null
+
+echo "== submitting $fspec (engine: fluid)"
+fresp="$(curl -fsS -X POST --data-binary @"$fspec" "$base/v1/jobs")"
+fid="$(printf '%s' "$fresp" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$fid" ] || { echo "no job id in response: $fresp"; exit 1; }
+echo "   job $fid"
+
+echo "== polling fluid job to completion"
+fstate=""
+for _ in $(seq 240); do
+    fstate="$(curl -fsS "$base/v1/jobs/$fid" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+    case "$fstate" in
+        done) break ;;
+        failed|cancelled) echo "fluid job ended $fstate"; curl -fsS "$base/v1/jobs/$fid"; exit 1 ;;
+    esac
+    sleep 0.5
+done
+[ "$fstate" = done ] || { echo "fluid job still '$fstate' after timeout"; exit 1; }
+
+echo "== diffing fluid service CSVs against CLI files"
+for kind in summary throughput fct-cdf afct; do
+    curl -fsS "$base/v1/jobs/$fid/result?csv=$kind" > "$tmp/srv-fluid-$kind.csv"
+    diff "$tmp/cli/fluid-smoke-$kind.csv" "$tmp/srv-fluid-$kind.csv" \
+        || { echo "MISMATCH: fluid $kind differs between service and CLI"; exit 1; }
+done
 
 echo "service smoke OK"
