@@ -9,6 +9,8 @@
 //	           [-job-history 4096] [-group-history 4096]
 //	           [-cache-entries 1024] [-cache-max-entries 4096]
 //	           [-cache-max-bytes 1073741824] [-max-group-variants 256]
+//	           [-slo 0] [-max-job-runtime 0] [-journal-dir DIR]
+//	           [-heartbeat 15s] [-shutdown-timeout 10s] [-chaos SPEC]
 //
 //	# submit a scenario and watch it run
 //	curl -X POST --data-binary @scenarios/flash-crowd.json localhost:8080/v1/jobs
@@ -31,6 +33,14 @@
 // oldest-first eviction. SIGINT or SIGTERM shuts down gracefully:
 // in-flight jobs stop at their next replicate boundary, queued jobs are
 // cancelled.
+//
+// Robustness knobs: -slo enables admission control (submissions whose
+// predicted queue wait exceeds the SLO are shed with 429 + Retry-After,
+// and /readyz turns unready); -max-job-runtime caps any job's wall time
+// server-side; -journal-dir persists accepted jobs write-ahead so a crash
+// (kill -9 included) loses no accepted work — restart with the same
+// directory and the journal resubmits it; -chaos injects deterministic
+// faults (see internal/chaos) for robustness testing.
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/service"
 )
 
@@ -67,20 +78,36 @@ func main() {
 	cacheMaxEntries := flag.Int("cache-max-entries", 0, "disk cache entry bound, oldest-first eviction (0 = 4096, negative = unbounded)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "disk cache byte bound, oldest-first eviction (0 = 1 GiB, negative = unbounded)")
 	maxGroupVariants := flag.Int("max-group-variants", 0, "variants one group submission may expand to (0 = 256)")
+	slo := flag.Duration("slo", 0, "queueing latency SLO; submissions predicted to wait longer are shed with 429 (0 = shedding off)")
+	maxJobRuntime := flag.Duration("max-job-runtime", 0, "server-side cap on any job's wall time, cut at replicate boundaries (0 = unlimited)")
+	journalDir := flag.String("journal-dir", "", "write-ahead job journal directory; accepted jobs survive a crash and are resubmitted on restart (empty = off)")
+	heartbeat := flag.Duration("heartbeat", 15*time.Second, "idle heartbeat interval on live event streams (negative = off)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful drain after SIGINT/SIGTERM")
+	chaosSpec := flag.String("chaos", "", "fault injection, e.g. seed=7,latency=0.2,panic=0.1,diskerr=0.1,drop=0.1,maxlatency=50ms (empty = off)")
 	flag.Parse()
 
+	inj, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+
 	svc := service.New(service.Config{
-		Workers:          *workers,
-		JobRunners:       *jobs,
-		CacheDir:         *cacheDir,
-		DefaultReps:      *defaultReps,
-		MaxReps:          *maxReps,
-		JobHistory:       *jobHistory,
-		GroupHistory:     *groupHistory,
-		CacheEntries:     *cacheEntries,
-		CacheMaxEntries:  *cacheMaxEntries,
-		CacheMaxBytes:    *cacheMaxBytes,
-		MaxGroupVariants: *maxGroupVariants,
+		Workers:           *workers,
+		JobRunners:        *jobs,
+		CacheDir:          *cacheDir,
+		DefaultReps:       *defaultReps,
+		MaxReps:           *maxReps,
+		JobHistory:        *jobHistory,
+		GroupHistory:      *groupHistory,
+		CacheEntries:      *cacheEntries,
+		CacheMaxEntries:   *cacheMaxEntries,
+		CacheMaxBytes:     *cacheMaxBytes,
+		MaxGroupVariants:  *maxGroupVariants,
+		SLO:               *slo,
+		MaxJobRuntime:     *maxJobRuntime,
+		JournalDir:        *journalDir,
+		HeartbeatInterval: *heartbeat,
+		Chaos:             inj,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -91,13 +118,23 @@ func main() {
 	if poolWidth <= 0 {
 		poolWidth = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("scda-serve: listening on http://%s (jobs=%d workers=%d cache-dir=%q)\n",
-		ln.Addr(), *jobs, poolWidth, *cacheDir)
+	fmt.Printf("scda-serve: listening on http://%s (jobs=%d workers=%d cache-dir=%q journal-dir=%q slo=%s %s)\n",
+		ln.Addr(), *jobs, poolWidth, *cacheDir, *journalDir, *slo, inj)
 
-	// ReadHeaderTimeout guards the resident listener against connections
-	// that never send headers; write timeouts stay off because the events
-	// endpoint streams for a job's whole lifetime.
-	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// Full server timeouts: ReadHeaderTimeout against connections that
+	// never send headers, ReadTimeout against bodies that trickle forever,
+	// IdleTimeout to reap dead keep-alives, and WriteTimeout against
+	// stalled writers. WriteTimeout no longer conflicts with the
+	// long-lived events endpoint: the stream handler extends its
+	// connection's write deadline per write (and per heartbeat) via
+	// http.ResponseController, so only a genuinely stuck stream is cut.
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -116,7 +153,7 @@ func main() {
 		// before Shutdown lets those connections drain immediately
 		// instead of stalling out the whole timeout.
 		svc.Close()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "scda-serve: shutdown: %v\n", err)

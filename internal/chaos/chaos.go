@@ -1,0 +1,215 @@
+// Package chaos is the service's deterministic fault injector: a small,
+// seed-driven source of synthetic failures — handler latency, forced job
+// panics, disk-cache I/O errors, dropped event-stream connections — wired
+// into scda-serve behind the -chaos flag so the robustness layer
+// (admission control, panic isolation, the job journal, client retries)
+// can be exercised continuously instead of only when real hardware
+// misbehaves.
+//
+// Determinism matters because the injector runs in CI: every decision is
+// drawn from one seeded PRNG, so a given seed produces one reproducible
+// fault sequence per draw order. (Across goroutines the draw order follows
+// the scheduler, so counts are reproducible statistically, not bit-exactly
+// — the chaos smoke asserts invariants, never exact tallies.)
+//
+// The zero injector is inert: every method on a nil *Injector reports "no
+// fault", so call sites need no enabled-guard and the production fast path
+// costs one nil check.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config holds the per-fault injection rates, each a probability in
+// [0, 1] applied independently at that fault's injection point.
+type Config struct {
+	// Seed drives the PRNG behind every decision; the same seed replays
+	// the same fault sequence for a fixed draw order.
+	Seed int64
+	// Latency is the probability that one /v1 request is delayed.
+	Latency float64
+	// MaxLatency bounds the injected delay (uniform in (0, MaxLatency];
+	// 0 = the 50ms default).
+	MaxLatency time.Duration
+	// Panic is the probability that one job compute panics mid-run.
+	Panic float64
+	// DiskErr is the probability that one disk-cache read or write is
+	// failed as if the I/O errored (reads miss, writes are dropped).
+	DiskErr float64
+	// DropStream is the probability, per event batch, that a live NDJSON
+	// stream connection is severed.
+	DropStream float64
+}
+
+// Injector draws fault decisions from a seeded PRNG under a mutex. Create
+// with New or Parse; nil is a valid, inert injector.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Injection tallies, for tests and the chaos smoke's sanity checks.
+	latencies   atomic.Int64
+	panics      atomic.Int64
+	diskErrs    atomic.Int64
+	streamDrops atomic.Int64
+}
+
+// New returns an injector over the given rates.
+func New(cfg Config) *Injector {
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Parse builds an injector from the -chaos flag syntax: comma-separated
+// key=value pairs, e.g.
+//
+//	seed=7,latency=0.2,panic=0.1,diskerr=0.1,drop=0.1,maxlatency=50ms
+//
+// Unknown keys, malformed numbers and probabilities outside [0, 1] are
+// errors; an empty string returns a nil (inert) injector.
+func Parse(s string) (*Injector, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var cfg Config
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: %q is not key=value", kv)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: seed: %v", err)
+			}
+			cfg.Seed = n
+		case "maxlatency":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: maxlatency: %v", err)
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("chaos: maxlatency %s must be positive", d)
+			}
+			cfg.MaxLatency = d
+		case "latency", "panic", "diskerr", "drop":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: %s: %v", key, err)
+			}
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("chaos: %s=%g outside [0, 1]", key, p)
+			}
+			switch key {
+			case "latency":
+				cfg.Latency = p
+			case "panic":
+				cfg.Panic = p
+			case "diskerr":
+				cfg.DiskErr = p
+			case "drop":
+				cfg.DropStream = p
+			}
+		default:
+			return nil, fmt.Errorf("chaos: unknown key %q (want seed, latency, panic, diskerr, drop, maxlatency)", key)
+		}
+	}
+	return New(cfg), nil
+}
+
+// draw returns true with probability p, plus a uniform fraction for
+// magnitude decisions, consuming exactly two PRNG values per call so the
+// sequence is stable regardless of which fault is being decided.
+func (i *Injector) draw(p float64) (bool, float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	hit := i.rng.Float64() < p
+	frac := i.rng.Float64()
+	return hit, frac
+}
+
+// HandlerLatency reports the synthetic delay to impose on one /v1 request:
+// 0 when this request is spared, otherwise a uniform duration in
+// (0, MaxLatency].
+func (i *Injector) HandlerLatency() time.Duration {
+	if i == nil || i.cfg.Latency <= 0 {
+		return 0
+	}
+	hit, frac := i.draw(i.cfg.Latency)
+	if !hit {
+		return 0
+	}
+	i.latencies.Add(1)
+	d := time.Duration(frac * float64(i.cfg.MaxLatency))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// PanicJob reports whether this job compute should be forced to panic.
+func (i *Injector) PanicJob() bool {
+	if i == nil || i.cfg.Panic <= 0 {
+		return false
+	}
+	hit, _ := i.draw(i.cfg.Panic)
+	if hit {
+		i.panics.Add(1)
+	}
+	return hit
+}
+
+// DiskErr reports whether this disk-cache read or write should fail as if
+// the underlying I/O errored.
+func (i *Injector) DiskErr() bool {
+	if i == nil || i.cfg.DiskErr <= 0 {
+		return false
+	}
+	hit, _ := i.draw(i.cfg.DiskErr)
+	if hit {
+		i.diskErrs.Add(1)
+	}
+	return hit
+}
+
+// DropStream reports whether a live NDJSON stream should be severed now.
+func (i *Injector) DropStream() bool {
+	if i == nil || i.cfg.DropStream <= 0 {
+		return false
+	}
+	hit, _ := i.draw(i.cfg.DropStream)
+	if hit {
+		i.streamDrops.Add(1)
+	}
+	return hit
+}
+
+// Counts reports how many faults of each kind have been injected so far
+// (latency delays, job panics, disk errors, stream drops).
+func (i *Injector) Counts() (latencies, panics, diskErrs, streamDrops int64) {
+	if i == nil {
+		return 0, 0, 0, 0
+	}
+	return i.latencies.Load(), i.panics.Load(), i.diskErrs.Load(), i.streamDrops.Load()
+}
+
+// String renders the active configuration for startup logging.
+func (i *Injector) String() string {
+	if i == nil {
+		return "chaos off"
+	}
+	return fmt.Sprintf("chaos(seed=%d latency=%g panic=%g diskerr=%g drop=%g maxlatency=%s)",
+		i.cfg.Seed, i.cfg.Latency, i.cfg.Panic, i.cfg.DiskErr, i.cfg.DropStream, i.cfg.MaxLatency)
+}

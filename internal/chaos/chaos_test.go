@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFull(t *testing.T) {
+	inj, err := Parse("seed=7,latency=0.25,panic=0.5,diskerr=0.125,drop=1,maxlatency=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, Latency: 0.25, Panic: 0.5, DiskErr: 0.125, DropStream: 1, MaxLatency: 20 * time.Millisecond}
+	if inj.cfg != want {
+		t.Fatalf("parsed %+v, want %+v", inj.cfg, want)
+	}
+	if s := inj.String(); !strings.Contains(s, "seed=7") || !strings.Contains(s, "drop=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestParseEmptyIsInert(t *testing.T) {
+	inj, err := Parse("   ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Fatalf("blank spec parsed to %v, want nil", inj)
+	}
+	// The nil injector must answer every method without faulting.
+	if inj.HandlerLatency() != 0 || inj.PanicJob() || inj.DiskErr() || inj.DropStream() {
+		t.Fatal("nil injector injected a fault")
+	}
+	if l, p, d, s := inj.Counts(); l+p+d+s != 0 {
+		t.Fatal("nil injector counted faults")
+	}
+	if inj.String() != "chaos off" {
+		t.Fatalf("nil String() = %q", inj.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"latency",          // not key=value
+		"latency=1.5",      // probability out of range
+		"panic=-0.1",       // negative probability
+		"panic=x",          // not a number
+		"seed=abc",         // bad seed
+		"maxlatency=-5ms",  // non-positive duration
+		"maxlatency=cheap", // bad duration
+		"frobnicate=1",     // unknown key
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	// Same seed, same draw order → identical fault sequence; a different
+	// seed diverges. Single-goroutine draw order is the contract.
+	draw := func(seed int64) []bool {
+		inj := New(Config{Seed: seed, Panic: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.PanicJob()
+		}
+		return out
+	}
+	a, b, c := draw(11), draw(11), draw(12)
+	if fmtBools(a) != fmtBools(b) {
+		t.Fatal("same seed produced different sequences")
+	}
+	if fmtBools(a) == fmtBools(c) {
+		t.Fatal("different seeds produced identical sequences (suspicious)")
+	}
+}
+
+func TestCertainAndImpossibleFaults(t *testing.T) {
+	always := New(Config{Panic: 1, DiskErr: 1, DropStream: 1, Latency: 1, MaxLatency: 10 * time.Millisecond})
+	for i := 0; i < 16; i++ {
+		if !always.PanicJob() || !always.DiskErr() || !always.DropStream() {
+			t.Fatal("probability-1 fault was spared")
+		}
+		if d := always.HandlerLatency(); d <= 0 || d > 10*time.Millisecond {
+			t.Fatalf("latency %s outside (0, 10ms]", d)
+		}
+	}
+	l, p, d, s := always.Counts()
+	if l != 16 || p != 16 || d != 16 || s != 16 {
+		t.Fatalf("counts %d/%d/%d/%d, want 16 each", l, p, d, s)
+	}
+	never := New(Config{}) // all probabilities zero
+	for i := 0; i < 16; i++ {
+		if never.PanicJob() || never.DiskErr() || never.DropStream() || never.HandlerLatency() != 0 {
+			t.Fatal("probability-0 fault fired")
+		}
+	}
+}
+
+func fmtBools(bs []bool) string {
+	var sb strings.Builder
+	for _, b := range bs {
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -16,10 +16,43 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a task panic converted into an ordinary error: Map and its
+// derivatives recover panics inside task functions so one broken (or
+// fault-injected) experiment cannot take down a resident process hosting
+// many, and so pool-worker goroutines can never die with an unjoined
+// WaitGroup. The panic value and the goroutine stack at the panic site are
+// preserved for the caller's diagnostics (the service surfaces both in the
+// failed job's status).
+type PanicError struct {
+	// Value is what the task passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace, captured at recover.
+	Stack []byte
+}
+
+// Error summarizes the panic with its stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task panic: %v\n%s", e.Value, e.Stack)
+}
+
+// safeCall invokes fn, converting a panic into a *PanicError. A
+// runtime.Goexit (from something like t.Fatal inside a task) is not
+// recoverable and keeps its normal semantics.
+func safeCall[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
 
 // Pool bounds the number of experiment tasks running concurrently. The
 // zero-cost way to get serial execution (stable per-task timing for
@@ -65,8 +98,10 @@ func orDefault(p *Pool) *Pool {
 }
 
 // Map runs fn(0..n-1) on the pool and returns the results in index order.
-// A nil pool means Default(). On error Map returns the lowest-index error
-// observed and fails fast: with a serial pool later tasks are not started
+// A nil pool means Default(). A task that panics is recovered and reported
+// as a *PanicError instead of crashing the process (one broken experiment
+// must not take down a resident service running many). On error Map
+// returns the lowest-index error observed and fails fast: with a serial pool later tasks are not started
 // (matching a plain loop); with a concurrent pool already-started tasks
 // finish but no further tasks are submitted. fn must not call Map on the
 // same pool (tasks waiting on nested tasks can exhaust the workers and
@@ -97,7 +132,7 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(ctx, i)
+			v, err := safeCall(ctx, i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +170,7 @@ submit:
 				<-p.sem
 				wg.Done()
 			}()
-			out[i], errs[i] = fn(ctx, i)
+			out[i], errs[i] = safeCall(ctx, i, fn)
 			if errs[i] != nil {
 				failed.Store(true)
 			}

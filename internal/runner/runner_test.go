@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -528,5 +529,47 @@ func TestReplicate(t *testing.T) {
 		if v != seeds[i] {
 			t.Fatalf("results out of replicate order: %v", got)
 		}
+	}
+}
+
+func TestMapCtxPanicBecomesError(t *testing.T) {
+	// A panicking task must surface as a *PanicError from MapCtx — on both
+	// the serial and the concurrent path — never unwind into the caller.
+	for _, workers := range []int{1, 4} {
+		_, err := MapCtx(context.Background(), New(workers), 4, func(ctx context.Context, i int) (int, error) {
+			if i == 2 {
+				panic("boom at task 2")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "boom at task 2" {
+			t.Fatalf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "task panic") {
+			t.Fatalf("workers=%d: error %q lacks the stack", workers, pe.Error())
+		}
+	}
+}
+
+func TestMapCtxPanicDoesNotPoisonPool(t *testing.T) {
+	// After a panic the pool keeps working for subsequent calls.
+	p := New(2)
+	if _, err := MapCtx(context.Background(), p, 2, func(ctx context.Context, i int) (int, error) {
+		panic("first call dies")
+	}); err == nil {
+		t.Fatal("panicking call reported success")
+	}
+	got, err := MapCtx(context.Background(), p, 3, func(ctx context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 4 {
+		t.Fatalf("results %v", got)
 	}
 }

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// admission is the service's load-shedding decision maker. It tracks an
+// exponentially weighted moving average of per-job compute cost (wall time
+// of fresh computations only — cache hits and joined flights cost nothing
+// and would drag the estimate toward zero) and, on every HTTP submission,
+// predicts how long the new work would wait behind the queue:
+//
+//	estimated wait = mean_cost × (depth_at_or_above_priority + n) / runners
+//
+// where n is the submission's job count (a group counts at its full
+// expansion size — a 100-variant sweep is 100 jobs of load the moment it
+// is accepted, not one). When the estimate exceeds the configured latency
+// SLO the submission is rejected with 429 and a Retry-After computed from
+// the excess, so a burst past capacity degrades into fast, honest
+// rejections instead of an unbounded heap and collapsing latency. Charging
+// only the queue at-or-above the submission's priority sheds the
+// lowest-priority traffic first.
+//
+// Before the first completed computation there is no cost estimate and
+// everything is admitted: an empty, idle service must not reject its first
+// job, and the estimate exists by the time a queue can have formed.
+type admission struct {
+	slo     time.Duration // 0 = shedding disabled
+	runners int
+
+	mu      sync.Mutex
+	mean    float64 // EWMA of per-job compute seconds
+	samples int64
+}
+
+// admissionAlpha is the EWMA smoothing factor: ~0.2 means the estimate
+// reflects roughly the last five jobs, adapting within a few completions
+// when traffic shifts between cheap and expensive specs.
+const admissionAlpha = 0.2
+
+// retryAfterMin / retryAfterMax clamp the Retry-After hint: at least one
+// second (clients should not hammer), at most five minutes (past that the
+// estimate is noise).
+const (
+	retryAfterMin = time.Second
+	retryAfterMax = 5 * time.Minute
+)
+
+// newAdmission returns a controller enforcing slo over runners job
+// runners; slo <= 0 disables shedding (decide always admits).
+func newAdmission(slo time.Duration, runners int) *admission {
+	if runners < 1 {
+		runners = 1
+	}
+	return &admission{slo: slo, runners: runners}
+}
+
+// observe folds one fresh computation's wall time into the cost estimate.
+func (a *admission) observe(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := d.Seconds()
+	if a.samples == 0 {
+		a.mean = s
+	} else {
+		a.mean = admissionAlpha*s + (1-admissionAlpha)*a.mean
+	}
+	a.samples++
+}
+
+// meanCost reports the current per-job cost estimate and whether any
+// sample backs it.
+func (a *admission) meanCost() (time.Duration, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return time.Duration(a.mean * float64(time.Second)), a.samples > 0
+}
+
+// decide admits or sheds a submission of n jobs that would wait behind
+// depth queued jobs at or above its priority. ok=false means shed;
+// retryAfter is then the suggested client backoff — the time for the
+// excess queue to drain at the current cost estimate, clamped to
+// [1s, 5m].
+func (a *admission) decide(depth, n int) (retryAfter time.Duration, ok bool) {
+	if a.slo <= 0 {
+		return 0, true
+	}
+	a.mu.Lock()
+	mean, samples := a.mean, a.samples
+	a.mu.Unlock()
+	if samples == 0 {
+		return 0, true
+	}
+	wait := mean * float64(depth+n) / float64(a.runners)
+	if wait <= a.slo.Seconds() {
+		return 0, true
+	}
+	excess := time.Duration((wait - a.slo.Seconds()) * float64(time.Second))
+	return clampRetryAfter(excess), false
+}
+
+// overloaded reports whether the total queue depth alone already exceeds
+// the SLO — the /readyz criterion. It intentionally ignores priority:
+// readiness is a node-level signal for load balancers, not a per-request
+// decision.
+func (a *admission) overloaded(totalDepth int) bool {
+	if a.slo <= 0 {
+		return false
+	}
+	a.mu.Lock()
+	mean, samples := a.mean, a.samples
+	a.mu.Unlock()
+	if samples == 0 {
+		return false
+	}
+	return mean*float64(totalDepth)/float64(a.runners) > a.slo.Seconds()
+}
+
+// clampRetryAfter bounds a Retry-After hint to [retryAfterMin,
+// retryAfterMax], rounding up to whole seconds (the header's unit).
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < retryAfterMin {
+		return retryAfterMin
+	}
+	if d > retryAfterMax {
+		return retryAfterMax
+	}
+	return time.Duration(math.Ceil(d.Seconds())) * time.Second
+}

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // BenchmarkServiceSubmitCached measures the cache hot path end to end over
@@ -85,6 +86,36 @@ func BenchmarkServiceGroupSubmitCached(b *testing.B) {
 		}
 		if !strings.Contains(string(body), `"cacheHits": 3`) {
 			b.Fatalf("group submission %d missed the cache: %s", i, body)
+		}
+	}
+}
+
+// BenchmarkServiceSubmitShed measures the rejection fast path: a service
+// pinned into overload (1ms SLO against a seeded 10s cost estimate) must
+// answer every submission 429 before touching the body — the whole point
+// of shedding is that saying no stays cheap while the server is drowning.
+// Recorded in BENCH_hotpath.json by scripts/bench.sh.
+func BenchmarkServiceSubmitShed(b *testing.B) {
+	svc := New(Config{Workers: 1, JobRunners: 1, SLO: time.Millisecond})
+	defer svc.Close()
+	svc.adm.observe(10 * time.Second)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(testSpec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			b.Fatalf("submission %d got %d, want 429", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			b.Fatal("429 without Retry-After")
 		}
 	}
 }

@@ -179,26 +179,40 @@ func (a *artifacts) save(dir string) error {
 	return nil
 }
 
-// loadArtifacts reads a persisted cache entry back; ok is false when the
-// directory is absent or not a complete entry (no result.json).
-func loadArtifacts(dir string) (*artifacts, bool) {
+// loadArtifacts reads a persisted cache entry back. ok is false when the
+// entry cannot be served; corrupt additionally reports that a directory
+// was present but its content is damaged — a missing or truncated or
+// non-JSON result.json — so the caller can evict it rather than leave a
+// poison entry that would fail every future load. An absent directory is
+// a plain miss (ok=false, corrupt=false): the entry was never written or
+// was legitimately evicted.
+func loadArtifacts(dir string) (a *artifacts, ok, corrupt bool) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, false, false
+		}
+		return nil, false, true
 	}
-	a := &artifacts{files: make(map[string][]byte, len(entries))}
+	a = &artifacts{files: make(map[string][]byte, len(entries))}
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
 		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return nil, false
+			return nil, false, true
 		}
 		a.files[e.Name()] = b
 	}
-	if _, ok := a.files[artResult]; !ok {
-		return nil, false
+	// A directory that exists but lacks a parseable result document is a
+	// half-written or bit-rotted entry: tmp+rename should make this
+	// impossible, but the cache tolerates it anyway (crashed pre-rename
+	// kernels, manual tampering, fault injection) — corruption is a miss
+	// plus an eviction, never a startup or request failure.
+	res, ok := a.files[artResult]
+	if !ok || !json.Valid(res) {
+		return nil, false, true
 	}
-	return a, true
+	return a, true, false
 }

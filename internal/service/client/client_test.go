@@ -1,0 +1,230 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordingSleep returns a WithSleep hook that records requested delays
+// without actually sleeping.
+func recordingSleep(delays *[]time.Duration) Option {
+	return WithSleep(func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	})
+}
+
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	// Two sheds with Retry-After: 2, then success. The recorded sleeps
+	// must be the server's hint verbatim, not the exponential curve.
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error": "overloaded"}`))
+			return
+		}
+		w.Write([]byte(`{"id": "j000001", "state": "done"}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays), WithRetryPolicy(RetryPolicy{Budget: time.Minute}))
+	st, err := c.Submit(context.Background(), []byte(`{}`), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j000001" || st.State != "done" {
+		t.Fatalf("status %+v", st)
+	}
+	if len(delays) != 2 || delays[0] != 2*time.Second || delays[1] != 2*time.Second {
+		t.Fatalf("sleeps %v, want two 2s waits from Retry-After", delays)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("%d requests, want 3", n)
+	}
+}
+
+func TestExponentialBackoffWithJitter(t *testing.T) {
+	// Without Retry-After the curve applies: each recorded sleep lands in
+	// [d/2, d) of the doubling schedule.
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"id": "j000001", "state": "done"}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays),
+		WithRetryPolicy(RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Budget: time.Minute, Seed: 42}))
+	if _, err := c.Submit(context.Background(), []byte(`{}`), SubmitOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("sleeps %v, want %d entries", delays, len(want))
+	}
+	for i, d := range delays {
+		if d < want[i]/2 || d >= want[i] {
+			t.Fatalf("sleep %d = %s outside [%s, %s)", i, d, want[i]/2, want[i])
+		}
+	}
+}
+
+func TestBudgetBoundsRetries(t *testing.T) {
+	// A server that sheds forever with a 10s hint against a 5s budget:
+	// the client must give up before sleeping past the budget, with the
+	// underlying 429 preserved in the error chain.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "10")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error": "overloaded"}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays), WithRetryPolicy(RetryPolicy{Budget: 5 * time.Second}))
+	_, err := c.Submit(context.Background(), []byte(`{}`), SubmitOpts{})
+	if err == nil {
+		t.Fatal("submission succeeded against a permanently shedding server")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusTooManyRequests {
+		t.Fatalf("error %v does not carry the 429", err)
+	}
+	if len(delays) != 0 {
+		t.Fatalf("client slept %v although the first wait already broke the budget", delays)
+	}
+}
+
+func TestNonRetryableFailsFast(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error": "spec: missing topology"}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays))
+	_, err := c.Submit(context.Background(), []byte(`{}`), SubmitOpts{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadRequest {
+		t.Fatalf("error %v, want the 400 APIError", err)
+	}
+	if apiErr.Message != "spec: missing topology" {
+		t.Fatalf("message %q not unwrapped from the envelope", apiErr.Message)
+	}
+	if apiErr.Retryable() {
+		t.Fatal("400 reported retryable")
+	}
+	if hits.Load() != 1 || len(delays) != 0 {
+		t.Fatalf("%d requests, %v sleeps — a 400 must not retry", hits.Load(), delays)
+	}
+}
+
+func TestTransportErrorsRetry(t *testing.T) {
+	// A connection-refused target is retryable by nature; with 3 attempts
+	// the client tries thrice and reports giving up.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // nothing listens here anymore
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays), WithRetryPolicy(RetryPolicy{MaxAttempts: 3, Budget: time.Minute}))
+	_, err := c.Submit(context.Background(), []byte(`{}`), SubmitOpts{})
+	if err == nil {
+		t.Fatal("submission to a dead server succeeded")
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2 (attempts 2 and 3)", len(delays))
+	}
+}
+
+func TestWaitJobPollsToTerminal(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j000007" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		state := "running"
+		if hits.Add(1) >= 3 {
+			state = "done"
+		}
+		w.Write([]byte(`{"id": "j000007", "state": "` + state + `"}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays))
+	st, err := c.WaitJob(context.Background(), "j000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || !st.Terminal() {
+		t.Fatalf("status %+v", st)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("polled with %d sleeps, want 2", len(delays))
+	}
+}
+
+func TestReadyProbe(t *testing.T) {
+	ready := atomic.Bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	if c.Ready(context.Background()) {
+		t.Fatal("unready server reported ready")
+	}
+	ready.Store(true)
+	if !c.Ready(context.Background()) {
+		t.Fatal("ready server reported unready")
+	}
+	dead := New("http://127.0.0.1:1") // nothing listens on port 1
+	if dead.Ready(context.Background()) {
+		t.Fatal("dead server reported ready")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for in, want := range map[string]time.Duration{
+		"":    0,
+		"0":   0,
+		"5":   5 * time.Second,
+		"-3":  0,
+		"abc": 0,
+	} {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", in, got, want)
+		}
+	}
+	// Round-trip with the header the server actually sets.
+	h := http.Header{}
+	h.Set("Retry-After", strconv.Itoa(2))
+	if got := parseRetryAfter(h.Get("Retry-After")); got != 2*time.Second {
+		t.Fatalf("round-trip = %s", got)
+	}
+}

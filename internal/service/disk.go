@@ -117,6 +117,30 @@ func (c *diskCache) evictLocked() {
 	}
 }
 
+// forget evicts one entry by key — the corruption path: a load that found
+// a damaged directory removes it from the ledger and the filesystem so the
+// next miss recomputes into a clean entry. Safe on a nil receiver and on
+// keys the ledger never tracked (the directory is removed regardless, so a
+// corrupt entry found before the disk layer adopted it is still cleared).
+func (c *diskCache) forget(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.sizes[key]; ok {
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+		c.total -= c.sizes[key]
+		delete(c.sizes, key)
+	}
+	c.mu.Unlock()
+	os.RemoveAll(filepath.Join(c.dir, key))
+}
+
 // stats reports the tracked entry count and total bytes, for /metrics.
 // Safe on a nil receiver (disk layer disabled): both gauges read zero.
 func (c *diskCache) stats() (entries int, bytes int64) {

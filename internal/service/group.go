@@ -2,6 +2,7 @@ package service
 
 import (
 	"sync"
+	"time"
 )
 
 // JobGroup is one sweep (or explicit spec array) submitted as a unit: the
@@ -26,6 +27,10 @@ type JobGroup struct {
 	Reps int
 	// Priority is the queue priority every child job was submitted at.
 	Priority int
+
+	// deadline is the absolute completion deadline every child inherits
+	// (zero = none). Immutable after publishGroup.
+	deadline time.Time
 
 	// names holds every variant name in expansion order — including
 	// variants that were never submitted because a cancel interrupted the

@@ -260,7 +260,7 @@ func TestGroupCancelMidExpansion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := svc.publishGroup(sweep.Name, variants, 1, 0)
+	g := svc.publishGroup(sweep.Name, variants, 1, 0, time.Time{})
 	svc.submitVariants(g, variants[:2]) // two children, queued behind the blocker
 	if cancelled, found := svc.CancelGroup(g.ID); !cancelled || !found {
 		t.Fatalf("cancel mid-expansion: cancelled=%v found=%v", cancelled, found)

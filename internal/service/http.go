@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/scenario"
 )
 
@@ -39,20 +41,47 @@ import (
 //	                               `scda-bench -scenario-dir` writes
 //	GET    /v1/groups/{id}/events  NDJSON group lifecycle stream
 //	GET    /healthz                liveness
+//	GET    /readyz                 readiness: 503 while draining or while
+//	                               the queue is past the latency SLO
 //	GET    /metrics                Prometheus text metrics
+//
+// Submissions accept ?deadline= (an RFC 3339 time or a relative duration
+// like "30s"): the job fails with a deadline error if it cannot complete
+// in time. Under overload — when the predicted queue wait for a
+// submission's priority exceeds the configured SLO — submissions are
+// rejected with 429 and a Retry-After header instead of queueing
+// unboundedly.
 //
 // Errors are JSON objects {"error": "..."} with conventional status codes
 // (400 invalid spec or knob, 404 unknown job or path, 405 wrong method,
-// 409 conflict with the job's or group's state).
+// 409 conflict with the job's or group's state, 429 shed by admission
+// control).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/groups", s.handleGroups)
 	mux.HandleFunc("/v1/groups/", s.handleGroup)
-	return mux
+	if s.chaos == nil {
+		return mux
+	}
+	// Chaos latency wraps the API routes only: operator endpoints
+	// (/healthz, /readyz, /metrics) stay honest so the harness can still
+	// observe the server it is abusing.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			if d := s.chaos.HandlerLatency(); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-r.Context().Done():
+				}
+			}
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // maxSpecBytes bounds a submitted spec body (1 MiB is orders of magnitude
@@ -89,6 +118,22 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz answers readiness probes: 200 while the service should
+// receive traffic, 503 while draining (Close has begun) or while the
+// queue is so deep that new submissions would be shed anyway — the signal
+// a load balancer needs to route around an overloaded node before clients
+// burn retries on 429s.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case !s.Ready():
+		httpError(w, http.StatusServiceUnavailable, "overloaded: queue depth exceeds the latency SLO")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
 // handleMetrics serves the Prometheus text exposition.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -115,39 +160,81 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 // so validation lives here at the HTTP edge, keeping the programmatic
 // Submit's "<= 0 means default" contract intact for in-process callers.
 // ok is false when the response has already been written.
-func (s *Service) submitParams(w http.ResponseWriter, r *http.Request) (reps, priority int, ok bool) {
+func (s *Service) submitParams(w http.ResponseWriter, r *http.Request) (reps, priority int, deadline time.Time, ok bool) {
 	q := r.URL.Query()
 	reps, err := intParam(q.Get("reps"), 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reps: %v", err)
-		return 0, 0, false
+		return 0, 0, time.Time{}, false
 	}
 	if reps < 0 {
 		httpError(w, http.StatusBadRequest, "reps: %d is negative (omit or use 0 for the server default)", reps)
-		return 0, 0, false
+		return 0, 0, time.Time{}, false
 	}
 	if reps > s.cfg.MaxReps {
 		httpError(w, http.StatusBadRequest, "reps: %d exceeds the limit %d", reps, s.cfg.MaxReps)
-		return 0, 0, false
+		return 0, 0, time.Time{}, false
 	}
 	priority, err = intParam(q.Get("priority"), 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "priority: %v", err)
-		return 0, 0, false
+		return 0, 0, time.Time{}, false
 	}
 	if priority > maxPriorityMagnitude || priority < -maxPriorityMagnitude {
 		httpError(w, http.StatusBadRequest, "priority: %d outside [%d, %d]", priority, -maxPriorityMagnitude, maxPriorityMagnitude)
-		return 0, 0, false
+		return 0, 0, time.Time{}, false
 	}
-	return reps, priority, true
+	deadline, err = deadlineParam(q.Get("deadline"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "deadline: %v", err)
+		return 0, 0, time.Time{}, false
+	}
+	return reps, priority, deadline, true
+}
+
+// deadlineParam parses the optional ?deadline= knob: a relative duration
+// ("30s", "2m") resolved against now, or an absolute RFC 3339 time. A
+// deadline in the past is accepted — the job simply fails fast with a
+// deadline error, which is more useful to retrying clients than a 400.
+func deadlineParam(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d <= 0 {
+			return time.Time{}, fmt.Errorf("duration %s is not positive", d)
+		}
+		return time.Now().Add(d), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%q is neither a duration nor an RFC 3339 time", s)
+	}
+	return t, nil
+}
+
+// shed answers a submission rejected by admission control: 429 with a
+// Retry-After header in whole seconds (the header's unit), the contract
+// the client package's backoff honors.
+func (s *Service) shed(w http.ResponseWriter, retryAfter time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+	httpError(w, http.StatusTooManyRequests,
+		"overloaded: estimated queue wait exceeds the %s latency SLO; retry after %s", s.cfg.SLO, retryAfter)
 }
 
 // handleSubmit parses the spec body and query knobs, submits, and answers
 // with the job status (201 for a fresh job, 200 when served from cache or
 // after ?wait=true).
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	reps, priority, ok := s.submitParams(w, r)
+	reps, priority, deadline, ok := s.submitParams(w, r)
 	if !ok {
+		return
+	}
+	// Admission before the body is even read: shedding exists to keep an
+	// overloaded server cheap, so the rejection path must not pay for
+	// parsing and hashing a spec it will refuse anyway.
+	if retryAfter, ok := s.admitHTTP(priority, 1); !ok {
+		s.shed(w, retryAfter)
 		return
 	}
 	spec, err := scenario.Parse(http.MaxBytesReader(w, r.Body, maxSpecBytes))
@@ -160,7 +247,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.Submit(spec, reps, priority)
+	j, err := s.SubmitWithDeadline(spec, reps, priority, deadline)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -168,6 +255,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "true" {
 		select {
 		case <-j.Done():
+			// The wait may have outlived the server's WriteTimeout; push
+			// the connection's write deadline out for the response.
+			http.NewResponseController(w).SetWriteDeadline(time.Now().Add(streamWriteSlack))
 		case <-r.Context().Done():
 			httpError(w, http.StatusRequestTimeout, "client went away while waiting for %s", j.ID)
 			return
@@ -256,36 +346,105 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request, j *Job) {
 // disconnects. Each line is one Event; flushed per line so curl shows
 // progress as it happens.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
-	streamNDJSON(w, r, j.eventsSince)
+	s.streamNDJSON(w, r, j.eventsSince)
 }
+
+// heartbeatLine is the NDJSON keepalive record emitted on live streams
+// after HeartbeatInterval without an event, so intermediaries and clients
+// can tell a slow job from a dead connection. Heartbeats fire only while
+// *waiting* for a live event, never during replay: a stream of an
+// already-terminal job replays and closes without waiting, so recorded
+// streams stay wall-clock-free and byte-stable.
+type heartbeatLine struct {
+	// Heartbeat is always true; its presence is the marker. Event lines
+	// never carry the field, so consumers skip heartbeats by key.
+	Heartbeat bool `json:"heartbeat"`
+}
+
+// streamWriteSlack is the per-write deadline extension on event streams.
+// The server's WriteTimeout protects against dead clients, but an NDJSON
+// stream legitimately outlives any fixed response timeout — so each write
+// burst (and each heartbeat) pushes the connection's write deadline out by
+// this much instead. A stream that emits nothing for longer falls back to
+// heartbeats, which keep the deadline moving.
+const streamWriteSlack = time.Minute
 
 // streamNDJSON drives one NDJSON event stream — replay everything emitted
 // so far, then live until the source terminates or the client disconnects
 // — shared by the job and group event endpoints. since returns the events
 // after the first seen ones, the channel signalling the next change, and
 // whether the source reached a terminal state.
-func streamNDJSON[E any](w http.ResponseWriter, r *http.Request, since func(seen int) ([]E, <-chan struct{}, bool)) {
+//
+// Methods cannot be generic, so the Service-dependent knobs (heartbeat
+// interval, chaos injection) ride in on s and the event type on since.
+func (s *Service) streamNDJSON(w http.ResponseWriter, r *http.Request, since func(seen int) ([]Event, <-chan struct{}, bool)) {
+	streamLines(w, r, s.cfg.HeartbeatInterval, s.chaos, since)
+}
+
+// streamLines is streamNDJSON's generic engine, shared with the group
+// stream's event type.
+func streamLines[E any](w http.ResponseWriter, r *http.Request, hb time.Duration, inj *chaos.Injector, since func(seen int) ([]E, <-chan struct{}, bool)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
+	rc := http.NewResponseController(w)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	seen := 0
+	var hbTimer *time.Timer
+	defer func() {
+		if hbTimer != nil {
+			hbTimer.Stop()
+		}
+	}()
 	for {
 		evs, changed, terminal := since(seen)
-		for _, ev := range evs {
-			if err := enc.Encode(ev); err != nil {
-				return
+		if len(evs) > 0 {
+			if inj.DropStream() {
+				// Sever the connection mid-stream the hard way — no clean
+				// close, no terminal event — the failure a resilient
+				// consumer must tolerate by re-reading from the start.
+				panic(http.ErrAbortHandler)
 			}
-		}
-		seen += len(evs)
-		if len(evs) > 0 && flusher != nil {
-			flusher.Flush()
+			rc.SetWriteDeadline(time.Now().Add(streamWriteSlack))
+			for _, ev := range evs {
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+			}
+			seen += len(evs)
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 		if terminal {
 			return
 		}
+		if hb <= 0 {
+			select {
+			case <-changed:
+			case <-r.Context().Done():
+				return
+			}
+			continue
+		}
+		if hbTimer == nil {
+			hbTimer = time.NewTimer(hb)
+		} else {
+			hbTimer.Reset(hb)
+		}
 		select {
 		case <-changed:
+			if !hbTimer.Stop() {
+				<-hbTimer.C
+			}
+		case <-hbTimer.C:
+			rc.SetWriteDeadline(time.Now().Add(streamWriteSlack))
+			if err := enc.Encode(heartbeatLine{Heartbeat: true}); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		case <-r.Context().Done():
 			return
 		}
@@ -309,7 +468,7 @@ func (s *Service) handleGroups(w http.ResponseWriter, r *http.Request) {
 // and expanded — submits the flattened variants as one group, and answers
 // with the group status (201 for a fresh group, 200 once terminal).
 func (s *Service) handleGroupSubmit(w http.ResponseWriter, r *http.Request) {
-	reps, priority, ok := s.submitParams(w, r)
+	reps, priority, deadline, ok := s.submitParams(w, r)
 	if !ok {
 		return
 	}
@@ -328,7 +487,14 @@ func (s *Service) handleGroupSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	g, err := s.SubmitGroup(name, variants, reps, priority)
+	// Group admission runs after expansion, unlike the single-job fast
+	// path: the load a group carries is its full variant count, so the
+	// body must be parsed to know what to charge against the SLO.
+	if retryAfter, ok := s.admitHTTP(priority, len(variants)); !ok {
+		s.shed(w, retryAfter)
+		return
+	}
+	g, err := s.SubmitGroupWithDeadline(name, variants, reps, priority, deadline)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -336,6 +502,8 @@ func (s *Service) handleGroupSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "true" {
 		select {
 		case <-g.Done():
+			// Same WriteTimeout extension as the single-job wait path.
+			http.NewResponseController(w).SetWriteDeadline(time.Now().Add(streamWriteSlack))
 		case <-r.Context().Done():
 			httpError(w, http.StatusRequestTimeout, "client went away while waiting for %s", g.ID)
 			return
@@ -426,7 +594,7 @@ func (s *Service) handleGroup(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on an event stream", r.Method)
 			return
 		}
-		streamNDJSON(w, r, g.eventsSince)
+		streamLines(w, r, s.cfg.HeartbeatInterval, s.chaos, g.eventsSince)
 	default:
 		httpError(w, http.StatusNotFound, "no resource %q under group %s", sub, id)
 	}

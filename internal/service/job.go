@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -64,6 +65,10 @@ type Job struct {
 	Reps int
 	// Priority orders the queue; higher runs first, FIFO within a level.
 	Priority int
+	// Deadline, when non-zero, is the absolute completion deadline: the
+	// run is cut off at the next replicate boundary past it and the job
+	// fails with a deadline error. Immutable after Submit.
+	Deadline time.Time
 
 	// group, when non-nil, is the job group this job is a variant of; the
 	// group observes every event the job emits. Immutable after newJob.
@@ -103,13 +108,14 @@ type Status struct {
 	Error string `json:"error,omitempty"`
 }
 
-func newJob(id string, spec *scenario.Spec, key string, reps, priority int, g *JobGroup) *Job {
+func newJob(id string, spec *scenario.Spec, key string, reps, priority int, deadline time.Time, g *JobGroup) *Job {
 	j := &Job{
 		ID:       id,
 		Spec:     spec,
 		Key:      key,
 		Reps:     reps,
 		Priority: priority,
+		Deadline: deadline,
 		group:    g,
 		state:    StateQueued,
 		changed:  make(chan struct{}),

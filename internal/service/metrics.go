@@ -20,6 +20,10 @@ type metrics struct {
 	cacheHits     atomic.Int64 // counter: results served without recomputation
 	cacheMisses   atomic.Int64 // counter: results computed fresh
 
+	shedTotal     atomic.Int64 // counter: submissions rejected 429 by admission control
+	jobsRecovered atomic.Int64 // counter: journaled jobs resubmitted at startup
+	jobPanics     atomic.Int64 // counter: job computes that panicked (recovered to failed)
+
 	groupsActive    atomic.Int64 // gauge: job groups not yet terminal
 	groupsDone      atomic.Int64 // counter: groups whose variants all completed
 	groupsFailed    atomic.Int64 // counter: groups with a failed variant or submission
@@ -51,6 +55,10 @@ func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries, di
 	fmt.Fprintf(w, "scda_groups_done_total{state=\"done\"} %d\n", m.groupsDone.Load())
 	fmt.Fprintf(w, "scda_groups_done_total{state=\"failed\"} %d\n", m.groupsFailed.Load())
 	fmt.Fprintf(w, "scda_groups_done_total{state=\"cancelled\"} %d\n", m.groupsCancelled.Load())
+
+	counter("scda_shed_total", "Submissions rejected with 429 by admission control.", m.shedTotal.Load())
+	counter("scda_jobs_recovered_total", "Journaled jobs resubmitted after a restart.", m.jobsRecovered.Load())
+	counter("scda_job_panics_total", "Job computations that panicked and were recovered to state failed.", m.jobPanics.Load())
 
 	counter("scda_cache_hits_total", "Results served from the cache (memory, disk, or an in-flight duplicate).", m.cacheHits.Load())
 	counter("scda_cache_misses_total", "Results computed fresh.", m.cacheMisses.Load())

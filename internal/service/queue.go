@@ -15,13 +15,14 @@ type jobQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  queueHeap
+	depths map[int]int // waiting-job count per priority level, for admission
 	seq    uint64
 	closed bool
 }
 
 // newJobQueue returns an empty open queue.
 func newJobQueue() *jobQueue {
-	q := &jobQueue{}
+	q := &jobQueue{depths: make(map[int]int)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -36,6 +37,7 @@ func (q *jobQueue) Push(j *Job) bool {
 	}
 	q.seq++
 	heap.Push(&q.items, queued{job: j, seq: q.seq})
+	q.depths[j.Priority]++
 	q.cond.Signal()
 	return true
 }
@@ -51,7 +53,37 @@ func (q *jobQueue) Pop() (*Job, bool) {
 		return nil, false
 	}
 	it := heap.Pop(&q.items).(queued)
+	q.dropDepth(it.job.Priority)
 	return it.job, true
+}
+
+// dropDepth decrements the per-priority depth count, deleting emptied
+// levels so the map tracks only priorities actually present. Caller holds
+// q.mu.
+func (q *jobQueue) dropDepth(priority int) {
+	if q.depths[priority]--; q.depths[priority] <= 0 {
+		delete(q.depths, priority)
+	}
+}
+
+// DepthAtOrAbove reports how many waiting jobs would run before (or
+// alongside) a new submission at the given priority — the queue share that
+// admission control charges against the latency SLO. Counting only levels
+// >= priority is what makes shedding hit the lowest-priority traffic
+// first: a high-priority submission sees a shorter effective queue and is
+// admitted deeper into overload. The map holds one entry per distinct
+// waiting priority (a handful in practice), so the scan is cheap enough
+// for the submit path.
+func (q *jobQueue) DepthAtOrAbove(priority int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	depth := 0
+	for p, n := range q.depths {
+		if p >= priority {
+			depth += n
+		}
+	}
+	return depth
 }
 
 // Remove deletes the job's entry from the heap, if present, so a job
@@ -64,6 +96,7 @@ func (q *jobQueue) Remove(j *Job) {
 	for i := range q.items {
 		if q.items[i].job == j {
 			heap.Remove(&q.items, i)
+			q.dropDepth(j.Priority)
 			return
 		}
 	}
@@ -79,6 +112,7 @@ func (q *jobQueue) Close() []*Job {
 	for len(q.items) > 0 {
 		rest = append(rest, heap.Pop(&q.items).(queued).job)
 	}
+	q.depths = make(map[int]int)
 	q.cond.Broadcast()
 	return rest
 }

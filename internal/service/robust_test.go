@@ -1,0 +1,604 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/scenario"
+)
+
+// journalFiles lists the entry files in a journal directory.
+func journalFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// metricValue extracts one un-labelled metric's value from an exposition
+// body, failing the test if the family is missing.
+func metricValue(t *testing.T, body []byte, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(string(body), "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 && strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in exposition:\n%s", name, body)
+	return 0
+}
+
+func TestOverloadShedsHonestly(t *testing.T) {
+	// A saturated queue behind a tight SLO: programmatic submissions build
+	// the backlog (Submit bypasses admission by design), then an HTTP burst
+	// 10× past capacity gets nothing but clean answers — every response is
+	// a 2xx or a 429 carrying Retry-After, nothing hangs, and the shed
+	// counter owns the difference. With the cost estimate seeded at 2s per
+	// job against a 100ms SLO every burst submission must shed.
+	svc, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, SLO: 100 * time.Millisecond})
+	svc.adm.observe(2 * time.Second)
+
+	// Occupy the runner and stack a backlog the admission gate can see.
+	// Programmatic Submit bypasses admission by design (in-process callers
+	// own their own load), which is exactly what building the overload
+	// fixture needs.
+	specs := distinctSpecs(4, 900)
+	ids := make([]string, 0, len(specs)+1)
+	slow, err := svc.Submit(mustParse(t, slowSpec), 64, 0)
+	if err != nil {
+		t.Fatalf("backlog seed: %v", err)
+	}
+	ids = append(ids, slow.ID)
+	for i, spec := range specs {
+		j, err := svc.Submit(mustParse(t, spec), 1, 0)
+		if err != nil {
+			t.Fatalf("backlog %d: %v", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	// Node-level signal: the queue alone now exceeds the SLO.
+	if b, code := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !bytes.Contains(b, []byte("overloaded")) {
+		t.Fatalf("readyz under overload: %d %s", code, b)
+	}
+
+	// The burst: 20 concurrent submissions against 1 runner.
+	const burst = 20
+	var mu sync.Mutex
+	codes := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(testSpec))
+			if err != nil {
+				t.Errorf("burst: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			codes[resp.StatusCode]++
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusCreated:
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+			default:
+				t.Errorf("burst status %d breaks the overload contract", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if codes[http.StatusTooManyRequests] != burst {
+		t.Fatalf("burst codes %v, want all %d shed", codes, burst)
+	}
+
+	b, _ := get(t, ts.URL+"/metrics")
+	if shed := metricValue(t, b, "scda_shed_total"); shed < burst {
+		t.Fatalf("scda_shed_total = %d, want >= %d", shed, burst)
+	}
+
+	// Drain: cancel the backlog and watch the gauges go to zero.
+	for _, id := range ids {
+		if _, code := get(t, ts.URL+"/v1/jobs/"+id); code != http.StatusOK {
+			t.Fatalf("status %s: %d", id, code)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err != nil {
+			t.Fatal(err)
+		} else {
+			resp.Body.Close()
+		}
+	}
+	for _, id := range ids {
+		waitTerminal(t, ts, id)
+	}
+	b, _ = get(t, ts.URL+"/metrics")
+	if q := metricValue(t, b, "scda_jobs_queued"); q != 0 {
+		t.Fatalf("scda_jobs_queued = %d after drain", q)
+	}
+	if r := metricValue(t, b, "scda_jobs_running"); r != 0 {
+		t.Fatalf("scda_jobs_running = %d after drain", r)
+	}
+	// With the backlog gone the node is ready again.
+	if _, code := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after drain: %d", code)
+	}
+}
+
+func TestShedLowestPriorityFirst(t *testing.T) {
+	// The queue charge is depth at-or-above the submission's priority:
+	// with a 60ms cost estimate against a 100ms SLO and three queued
+	// priority-5 jobs, a low-priority submission is charged the whole
+	// backlog plus itself (≥ 240ms, shed) while a priority-9 submission
+	// jumps the queue and is charged only itself (60ms, admitted).
+	svc, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, SLO: 100 * time.Millisecond})
+	svc.adm.observe(60 * time.Millisecond)
+
+	if _, err := svc.Submit(mustParse(t, slowSpec), 64, 5); err != nil {
+		t.Fatalf("seed submit: %v", err)
+	}
+	for i, spec := range distinctSpecs(3, 920) {
+		if _, err := svc.Submit(mustParse(t, spec), 1, 5); err != nil {
+			t.Fatalf("backlog %d: %v", i, err)
+		}
+	}
+	if _, code := submit(t, ts, testSpec, "?priority=1"); code != http.StatusTooManyRequests {
+		t.Fatalf("low-priority submission got %d, want 429", code)
+	}
+	if _, code := submit(t, ts, testSpec, "?priority=9"); code != http.StatusCreated {
+		t.Fatalf("high-priority submission got %d, want 201", code)
+	}
+}
+
+func TestJournalCrashRecovery(t *testing.T) {
+	// Accepted work survives an abrupt death. Build a service with a
+	// journal and a disk cache, warm one spec into the cache, stack a
+	// backlog, and drain (Close retains journal entries by design — the
+	// same on-disk state a kill -9 leaves). A second service on the same
+	// directories must resubmit every journaled job, finish them all, and
+	// serve the already-cached spec without recomputing it.
+	jdir, cdir := t.TempDir(), t.TempDir()
+	svc1 := New(Config{Workers: 1, JobRunners: 1, JournalDir: jdir, CacheDir: cdir})
+	ts1 := newServerFor(t, svc1)
+
+	warm, code := submit(t, ts1, testSpec, "?wait=true")
+	if code != http.StatusOK || warm.State != StateDone {
+		t.Fatalf("warm submit: %d %+v", code, warm)
+	}
+	// Terminal via the normal path → journal entry gone.
+	if n := len(journalFiles(t, jdir)); n != 0 {
+		t.Fatalf("journal holds %d entries after a completed job", n)
+	}
+
+	// Backlog: one slow running job, three queued fresh specs.
+	if _, code := submit(t, ts1, slowSpec, "?reps=64"); code != http.StatusCreated {
+		t.Fatalf("slow submit: %d", code)
+	}
+	backlog := distinctSpecs(3, 940)
+	for i, spec := range backlog {
+		if _, code := submit(t, ts1, spec, ""); code != http.StatusCreated {
+			t.Fatalf("backlog submit %d: %d", i, code)
+		}
+	}
+	ts1.Close()
+	svc1.Close()
+	journaled := len(journalFiles(t, jdir))
+	if journaled != 4 {
+		t.Fatalf("journal retained %d entries across the drain, want 4", journaled)
+	}
+
+	// Restart on the same state.
+	svc2 := New(Config{Workers: 1, JobRunners: 1, JournalDir: jdir, CacheDir: cdir})
+	ts2 := newServerFor(t, svc2)
+	t.Cleanup(func() {
+		ts2.Close()
+		svc2.Close()
+	})
+
+	b, _ := get(t, ts2.URL+"/metrics")
+	if rec := metricValue(t, b, "scda_jobs_recovered_total"); rec != int64(journaled) {
+		t.Fatalf("scda_jobs_recovered_total = %d, want %d", rec, journaled)
+	}
+	// Every recovered job is in the ledger and reaches done.
+	var ids []string
+	bb, code := get(t, ts2.URL+"/v1/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("job list: %d", code)
+	}
+	var sts []Status
+	if err := json.Unmarshal(bb, &sts); err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != journaled {
+		t.Fatalf("restarted ledger has %d jobs, want %d", len(sts), journaled)
+	}
+	for _, st := range sts {
+		ids = append(ids, st.ID)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			bb, _ := get(t, ts2.URL+"/v1/jobs/"+id)
+			var st Status
+			if err := json.Unmarshal(bb, &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.State.Terminal() {
+				if st.State != StateDone {
+					t.Fatalf("recovered job %s ended %s (%s)", id, st.State, st.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("recovered job %s never finished", id)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	// All settled → the journal is clean again.
+	if n := len(journalFiles(t, jdir)); n != 0 {
+		t.Fatalf("journal holds %d entries after recovery settled", n)
+	}
+
+	// The pre-crash cached spec is served from disk, not recomputed — the
+	// disk entry carries the exact pre-crash bytes, so a cache hit IS the
+	// byte-parity guarantee.
+	st2, code := submit(t, ts2, testSpec, "?wait=true")
+	if code != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("cached spec after restart: %d %+v, want cache hit", code, st2)
+	}
+}
+
+func TestJournalSurvivesAbandonedService(t *testing.T) {
+	// The harder crash shape: the first service is never drained at all
+	// (abandoned mid-run, as kill -9 leaves it). The journal entries for
+	// the queued jobs must already be on disk — the write is write-ahead,
+	// not at-exit.
+	jdir := t.TempDir()
+	svc1 := New(Config{Workers: 1, JobRunners: 1, JournalDir: jdir})
+	ts1 := newServerFor(t, svc1)
+	if _, code := submit(t, ts1, slowSpec, "?reps=64"); code != http.StatusCreated {
+		t.Fatalf("slow submit: %d", code)
+	}
+	for i, spec := range distinctSpecs(2, 960) {
+		if _, code := submit(t, ts1, spec, ""); code != http.StatusCreated {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+	}
+	if n := len(journalFiles(t, jdir)); n != 3 {
+		t.Fatalf("journal holds %d entries while jobs are live, want 3", n)
+	}
+	// Abandon svc1 without Close — its goroutines die with the test
+	// process; close only the listener so the port is freed.
+	ts1.Close()
+
+	svc2 := New(Config{Workers: 1, JobRunners: 2, JournalDir: t.TempDir()})
+	defer svc2.Close()
+	// A different journal dir recovers nothing — no cross-talk.
+	if n := svc2.met.jobsRecovered.Load(); n != 0 {
+		t.Fatalf("fresh journal recovered %d jobs", n)
+	}
+	svc1.Close() // release the runner goroutines before the test exits
+}
+
+func TestPanicIsolation(t *testing.T) {
+	// A panicking compute must fail its own job — stack preserved in the
+	// job error, panic counter bumped — while the service keeps answering.
+	inj := chaos.New(chaos.Config{Seed: 1, Panic: 1})
+	_, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, Chaos: inj})
+
+	st, code := submit(t, ts, testSpec, "?wait=true")
+	if code != http.StatusOK || st.State != StateFailed {
+		t.Fatalf("panicking job: %d %+v, want failed", code, st)
+	}
+	if !strings.Contains(st.Error, "task panic") || !strings.Contains(st.Error, "chaos: injected job panic") {
+		t.Fatalf("panic job error %q lacks the panic and stack", st.Error)
+	}
+	// Service is still alive and honest about it.
+	if _, code := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after panic: %d", code)
+	}
+	st2, code := submit(t, ts, slowSpec, "?wait=true&reps=1")
+	if code != http.StatusOK || st2.State != StateFailed {
+		t.Fatalf("second panicking job: %d %+v", code, st2)
+	}
+	b, _ := get(t, ts.URL+"/metrics")
+	if n := metricValue(t, b, "scda_job_panics_total"); n != 2 {
+		t.Fatalf("scda_job_panics_total = %d, want 2", n)
+	}
+}
+
+func TestClientDeadlineFailsSlowJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1})
+	st, code := submit(t, ts, slowSpec, "?reps=64&deadline=250ms")
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d", code)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "deadline") {
+		t.Fatalf("deadlined job %+v, want failed with deadline error", final)
+	}
+	if final.RepsDone >= 64 {
+		t.Fatalf("deadlined job completed all %d replicates", final.RepsDone)
+	}
+}
+
+func TestServerMaxJobRuntime(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, MaxJobRuntime: 250 * time.Millisecond})
+	st, code := submit(t, ts, slowSpec, "?reps=64")
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d", code)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "max runtime") {
+		t.Fatalf("capped job %+v, want failed with max-runtime error", final)
+	}
+	// A cheap job clears the same cap.
+	st2, code := submit(t, ts, testSpec, "?wait=true")
+	if code != http.StatusOK || st2.State != StateDone {
+		// testSpec takes well under 250ms per replicate boundary on any
+		// machine this suite runs on; a failure here means the cap leaked
+		// into healthy jobs.
+		t.Fatalf("cheap job under cap: %d %+v", code, st2)
+	}
+}
+
+func TestFarFutureDeadlineHarmless(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1})
+	st, code := submit(t, ts, testSpec, "?wait=true&deadline=1h")
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("deadline=1h job: %d %+v, want done", code, st)
+	}
+	// Absolute RFC3339 form parses too.
+	abs := time.Now().Add(time.Hour).UTC().Format(time.RFC3339)
+	st2, code := submit(t, ts, slowSpec, "?wait=true&reps=1&deadline="+abs)
+	if code != http.StatusOK || st2.State != StateDone {
+		t.Fatalf("absolute-deadline job: %d %+v, want done", code, st2)
+	}
+	// Garbage is a 400, not an accepted job.
+	if _, code := submit(t, ts, testSpec, "?deadline=soon"); code != http.StatusBadRequest {
+		t.Fatalf("deadline=soon: %d, want 400", code)
+	}
+}
+
+func TestHeartbeatOnLiveStreamOnly(t *testing.T) {
+	// A live stream with a quiet job emits heartbeat lines; the replay of
+	// a finished job's stream never does, and stays byte-stable.
+	_, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, HeartbeatInterval: 10 * time.Millisecond})
+	st, code := submit(t, ts, slowSpec, "?reps=64")
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawHeartbeat := false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if bytes.Contains(line, []byte(`"heartbeat": true`)) || bytes.Contains(line, []byte(`"heartbeat":true`)) {
+				sawHeartbeat = true
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+	resp.Body.Close()
+	<-done
+	if !sawHeartbeat {
+		t.Fatal("live stream never emitted a heartbeat")
+	}
+
+	// Cancel, then replay twice: no heartbeats, identical bytes.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	waitTerminal(t, ts, st.ID)
+	replay1, _ := get(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
+	replay2, _ := get(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
+	if bytes.Contains(replay1, []byte("heartbeat")) {
+		t.Fatalf("replay contains heartbeats:\n%s", replay1)
+	}
+	if !bytes.Equal(replay1, replay2) {
+		t.Fatal("replayed streams differ between fetches")
+	}
+}
+
+func TestShutdownUnderLoad(t *testing.T) {
+	// SIGTERM mid-burst, in miniature: Close with a running job and a
+	// queued backlog. The drain must return promptly, zero the gauges,
+	// mark everything terminal, and leave the journal carrying the
+	// undrained work.
+	jdir := t.TempDir()
+	svc := New(Config{Workers: 1, JobRunners: 1, JournalDir: jdir})
+	ts := newServerFor(t, svc)
+
+	if _, code := submit(t, ts, slowSpec, "?reps=64"); code != http.StatusCreated {
+		t.Fatalf("slow submit: %d", code)
+	}
+	for i, spec := range distinctSpecs(3, 980) {
+		if _, code := submit(t, ts, spec, ""); code != http.StatusCreated {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not drain")
+	}
+
+	if q, r := svc.met.jobsQueued.Load(), svc.met.jobsRunning.Load(); q != 0 || r != 0 {
+		t.Fatalf("gauges after drain: queued=%d running=%d", q, r)
+	}
+	for _, st := range svc.Jobs() {
+		if !st.State.Terminal() {
+			t.Fatalf("job %s left %s after drain", st.ID, st.State)
+		}
+	}
+	if n := len(journalFiles(t, jdir)); n != 4 {
+		t.Fatalf("journal carries %d entries across the shutdown, want 4", n)
+	}
+	// The drained service reports itself unready.
+	if b, code := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !bytes.Contains(b, []byte("draining")) {
+		t.Fatalf("readyz while draining: %d %s", code, b)
+	}
+	ts.Close()
+}
+
+func TestDiskCacheCorruptionTolerated(t *testing.T) {
+	// A truncated result.json in a persisted entry is a cache miss plus
+	// eviction, never a startup failure or a served half-result.
+	dir := t.TempDir()
+	svc1 := New(Config{Workers: 1, JobRunners: 1, CacheDir: dir})
+	ts1 := newServerFor(t, svc1)
+	st, code := submit(t, ts1, testSpec, "?wait=true")
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("warm submit: %d %+v", code, st)
+	}
+	ts1.Close()
+	svc1.Close()
+
+	// Corrupt the persisted entry: truncate result.json mid-document.
+	resPath := filepath.Join(dir, st.Key, "result.json")
+	full, err := os.ReadFile(resPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(resPath, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the damaged directory: must come up, treat the entry as
+	// a miss, evict it, recompute cleanly.
+	svc2 := New(Config{Workers: 1, JobRunners: 1, CacheDir: dir})
+	ts2 := newServerFor(t, svc2)
+	t.Cleanup(func() {
+		ts2.Close()
+		svc2.Close()
+	})
+	st2, code := submit(t, ts2, testSpec, "?wait=true")
+	if code != http.StatusOK || st2.State != StateDone {
+		t.Fatalf("resubmit over corrupt entry: %d %+v", code, st2)
+	}
+	if st2.CacheHit {
+		t.Fatal("corrupt entry served as a cache hit")
+	}
+	// The recomputed entry is valid JSON again.
+	fresh, err := os.ReadFile(resPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(fresh) {
+		t.Fatal("recomputed result.json is not valid JSON")
+	}
+	if !bytes.Equal(fresh, full) {
+		t.Fatal("recomputed result differs from the original bytes")
+	}
+}
+
+func TestChaosDiskErrorsDoNotCorrupt(t *testing.T) {
+	// With disk faults injected on every cache probe and save, jobs still
+	// finish and nothing half-written lands in the cache directory.
+	dir := t.TempDir()
+	inj := chaos.New(chaos.Config{Seed: 3, DiskErr: 1})
+	_, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, CacheDir: dir, Chaos: inj})
+	st, code := submit(t, ts, testSpec, "?wait=true")
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("submit under disk faults: %d %+v", code, st)
+	}
+	// Every save was suppressed → no cache entries, tmp debris included.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("disk cache holds %d entries under 100%% disk faults", len(entries))
+	}
+}
+
+func TestChaosStreamDropSeversConnection(t *testing.T) {
+	// drop=1 must sever event streams mid-flight: the client sees a
+	// truncated body, not a clean end — and a plain re-fetch works once
+	// chaos would allow it (deterministically never here, so just assert
+	// the sever).
+	inj := chaos.New(chaos.Config{Seed: 5, DropStream: 1})
+	_, ts := newTestServer(t, Config{Workers: 1, JobRunners: 1, Chaos: inj})
+	st, code := submit(t, ts, testSpec, "?wait=true")
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		// The abort landed before the response headers — the sever is
+		// visible as a transport error, which is the point.
+		return
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	var total int
+	var readErr error
+	for {
+		n, err := resp.Body.Read(buf)
+		total += n
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	if readErr.Error() == "EOF" {
+		t.Fatalf("dropped stream ended cleanly after %d bytes", total)
+	}
+}
+
+// mustParse parses a JSON spec string for programmatic submission.
+func mustParse(t *testing.T, spec string) *scenario.Spec {
+	t.Helper()
+	s, err := scenario.Parse(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

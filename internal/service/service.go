@@ -31,8 +31,14 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 )
@@ -84,6 +90,31 @@ type Config struct {
 	// expand to (0 = 256), so a hostile or typo'd sweep cannot enqueue
 	// unbounded work in one request.
 	MaxGroupVariants int
+	// SLO is the target queueing latency for admission control: an HTTP
+	// submission predicted to wait longer than this (EWMA job cost ×
+	// queue depth at-or-above its priority / runners) is rejected with
+	// 429 and a Retry-After. 0 disables load shedding.
+	SLO time.Duration
+	// MaxJobRuntime bounds any single job's wall time server-side,
+	// enforced at replicate boundaries; a job past it fails with a
+	// deadline error. 0 = unlimited. Client ?deadline= values tighten
+	// but never extend this.
+	MaxJobRuntime time.Duration
+	// JournalDir enables the write-ahead job journal under that
+	// directory: accepted jobs are persisted until they reach a
+	// client-driven terminal state, and a restart with the same
+	// directory resubmits whatever a crash (or drain) left behind.
+	// "" disables journaling.
+	JournalDir string
+	// HeartbeatInterval is the idle-gap bound on live NDJSON streams:
+	// a stream with no event for this long emits a heartbeat line so
+	// intermediaries and clients can distinguish a slow job from a dead
+	// connection. 0 = 15s; negative disables heartbeats.
+	HeartbeatInterval time.Duration
+	// Chaos, when non-nil, injects deterministic synthetic faults
+	// (handler latency, job panics, disk I/O errors, dropped streams)
+	// for robustness testing. Nil — the default — is fully inert.
+	Chaos *chaos.Injector
 }
 
 // Service is the resident simulation service. Create with New, expose
@@ -95,7 +126,12 @@ type Service struct {
 	group *runner.Group[string, *artifacts]
 	met   metrics
 
-	disk *diskCache // nil when CacheDir is unset
+	disk    *diskCache // nil when CacheDir is unset
+	adm     *admission
+	journal *journal        // nil when JournalDir is unset
+	chaos   *chaos.Injector // nil = no fault injection
+
+	draining atomic.Bool // set at Close: journal entries are retained, /readyz is unready
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -150,17 +186,41 @@ func New(cfg Config) *Service {
 	if cfg.MaxGroupVariants <= 0 {
 		cfg.MaxGroupVariants = 256
 	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 15 * time.Second
+	}
 	s := &Service{
 		cfg:       cfg,
 		pool:      runner.New(cfg.Workers),
 		queue:     newJobQueue(),
 		group:     runner.NewGroup[string, *artifacts](),
+		adm:       newAdmission(cfg.SLO, cfg.JobRunners),
+		chaos:     cfg.Chaos,
 		jobs:      make(map[string]*Job),
 		groups:    make(map[string]*JobGroup),
 		cacheSeen: make(map[string]bool),
 	}
 	if cfg.CacheDir != "" {
 		s.disk = newDiskCache(cfg.CacheDir, cfg.CacheMaxEntries, cfg.CacheMaxBytes)
+	}
+	var recovered []journalEntry
+	if cfg.JournalDir != "" {
+		// Journal open failure (unwritable directory) degrades to no
+		// journaling rather than refusing to serve: availability over
+		// durability, matching the disk cache's posture.
+		if jl, err := newJournal(cfg.JournalDir); err == nil {
+			s.journal = jl
+			recovered = jl.load()
+			// New IDs must never collide with journaled ones: a recovered
+			// entry's file would otherwise be overwritten by the fresh
+			// submission's journal write and then deleted by the old
+			// entry's cleanup.
+			for _, e := range recovered {
+				if n, err := strconv.Atoi(strings.TrimPrefix(e.ID, "j")); err == nil && n > s.nextID {
+					s.nextID = n
+				}
+			}
+		}
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.JobRunners; i++ {
@@ -170,21 +230,71 @@ func New(cfg Config) *Service {
 			s.runLoop()
 		}()
 	}
+	s.recoverJobs(recovered)
 	return s
+}
+
+// recoverJobs resubmits journaled jobs a previous process accepted but never
+// settled — the crash-recovery half of the write-ahead journal. Each entry
+// re-enters through the ordinary submit path (fresh ID, fresh journal
+// entry, cache probe first — a spec whose result landed in the disk cache
+// before the crash is born done without recomputation), after which the
+// old entry is removed. Unparseable entries are dropped: better to lose
+// one job than to wedge startup on a corrupt file.
+func (s *Service) recoverJobs(entries []journalEntry) {
+	for _, e := range entries {
+		spec, err := parseEntrySpec(e)
+		if err == nil {
+			_, err = s.submit(spec, e.Reps, e.Priority, e.Deadline, nil)
+		}
+		if err == nil {
+			s.met.jobsRecovered.Add(1)
+		}
+		s.journal.remove(e.ID)
+	}
 }
 
 // Close shuts the service down gracefully: the queue stops accepting,
 // still-queued jobs are cancelled, running jobs are cancelled at their
 // next replicate boundary, and Close returns once every runner goroutine
 // has exited. Idempotent.
+//
+// Draining is not the client abandoning work: the drain flag set here
+// makes every cancellation path retain the job's journal entry, so a
+// restart with the same JournalDir picks the undrained work back up.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
+		s.draining.Store(true)
 		for _, j := range s.queue.Close() {
 			s.cancelJob(j)
 		}
 		s.baseCancel()
 		s.wg.Wait()
 	})
+}
+
+// Draining reports whether Close has begun: the service is no longer
+// ready for new work (/readyz fails) though in-flight requests still
+// complete.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Ready reports whether the service should receive traffic: not draining
+// and not so far past its latency SLO that new work would be shed anyway.
+// This is the /readyz criterion, aimed at load balancers.
+func (s *Service) Ready() bool {
+	return !s.draining.Load() && !s.adm.overloaded(s.queue.Len())
+}
+
+// admitHTTP is the HTTP edge's admission gate for a submission of n jobs
+// at the given priority: ok=false means shed (the caller answers 429 with
+// retryAfter). Programmatic Submit/SubmitGroup bypass this deliberately —
+// shedding is a traffic-edge policy, not a library constraint.
+func (s *Service) admitHTTP(priority, n int) (retryAfter time.Duration, ok bool) {
+	retryAfter, ok = s.adm.decide(s.queue.DepthAtOrAbove(priority), n)
+	if !ok {
+		s.met.shedTotal.Add(1)
+	}
+	return retryAfter, ok
 }
 
 // ErrSweep rejects specs with a sweep block on the single-job endpoint:
@@ -197,17 +307,26 @@ var ErrSweep = errors.New("service: spec has a sweep; submit it to /v1/groups to
 // immediately. If the result cache already holds this (spec, reps) the job
 // is born done — the submit path never recomputes known results.
 func (s *Service) Submit(spec *scenario.Spec, reps, priority int) (*Job, error) {
+	return s.SubmitWithDeadline(spec, reps, priority, time.Time{})
+}
+
+// SubmitWithDeadline is Submit with an absolute completion deadline: the
+// run is cut off at the next replicate boundary past it and the job fails
+// with a deadline error (unless the result was already available — paid-
+// for work is always served). A zero deadline means none; the server-side
+// MaxJobRuntime cap applies on top either way.
+func (s *Service) SubmitWithDeadline(spec *scenario.Spec, reps, priority int, deadline time.Time) (*Job, error) {
 	if spec.Sweep != nil {
 		return nil, ErrSweep
 	}
-	return s.submit(spec, reps, priority, nil)
+	return s.submit(spec, reps, priority, deadline, nil)
 }
 
 // submit is Submit plus an optional owning group: a non-nil g is attached
 // to the job before any lifecycle event beyond the initial queued one can
 // fire, so the group observes every transition including a born-done cache
 // hit.
-func (s *Service) submit(spec *scenario.Spec, reps, priority int, g *JobGroup) (*Job, error) {
+func (s *Service) submit(spec *scenario.Spec, reps, priority int, deadline time.Time, g *JobGroup) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,21 +348,19 @@ func (s *Service) submit(spec *scenario.Spec, reps, priority int, g *JobGroup) (
 	// submit time instead of queueing behind running jobs.
 	art, hit := s.group.Peek(key)
 	if !hit {
-		if dir, ok := s.cacheEntryDir(key); ok {
-			if a, ok := loadArtifacts(dir); ok {
-				if s.group.Add(key, a) {
-					s.recordCacheKey(key)
-				}
-				// Re-read: whichever value won the install races.
-				art, hit = s.group.Peek(key)
+		if a, ok := s.loadFromDisk(key); ok {
+			if s.group.Add(key, a) {
+				s.recordCacheKey(key)
 			}
+			// Re-read: whichever value won the install races.
+			art, hit = s.group.Peek(key)
 		}
 	}
 
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
-	j := newJob(id, spec, key, reps, priority, g)
+	j := newJob(id, spec, key, reps, priority, deadline, g)
 	if g != nil {
 		g.attach(j)
 	}
@@ -267,12 +384,40 @@ func (s *Service) submit(spec *scenario.Spec, reps, priority int, g *JobGroup) (
 	if hit {
 		return j, nil
 	}
+	// Write-ahead journal: the entry lands on disk before the caller
+	// learns the job ID, so any job a client was told about survives a
+	// crash. CanonicalJSON cannot fail here — Hash above already
+	// serialized the same spec.
+	if canon, err := spec.CanonicalJSON(); err == nil {
+		s.journal.append(journalEntry{ID: id, Spec: canon, Reps: reps, Priority: priority, Deadline: deadline})
+	}
 	if !s.queue.Push(j) {
 		// Shutdown raced the submit; the job is born cancelled rather
 		// than orphaned in a queue nobody will drain.
 		s.cancelJob(j)
 	}
 	return j, nil
+}
+
+// loadFromDisk probes the disk cache layer for key, treating corruption
+// (truncated or non-JSON entries — crash debris, bit rot, fault
+// injection) as a miss plus an eviction so the next compute writes a
+// clean entry. Chaos disk-error injection also lands here: an injected
+// read failure is simply a miss.
+func (s *Service) loadFromDisk(key string) (*artifacts, bool) {
+	dir, ok := s.cacheEntryDir(key)
+	if !ok {
+		return nil, false
+	}
+	if s.chaos.DiskErr() {
+		return nil, false
+	}
+	a, ok, corrupt := loadArtifacts(dir)
+	if corrupt {
+		s.disk.forget(key)
+		return nil, false
+	}
+	return a, ok
 }
 
 // cancelJob requests cancellation and, when the job leaves the lifecycle
@@ -289,6 +434,12 @@ func (s *Service) cancelJob(j *Job) bool {
 		// busy runners it would otherwise pin the job (and its spec)
 		// until a runner drained it, defeating the residency bounds.
 		s.queue.Remove(j)
+		// A client-driven cancel settles the job; a drain cancel does
+		// not — the work is still owed and the journal entry carries it
+		// across the restart.
+		if !s.draining.Load() {
+			s.journal.remove(j.ID)
+		}
 	}
 	return ok
 }
@@ -383,6 +534,13 @@ func (s *Service) Cancel(id string) (cancelled, found bool) {
 // Cached variants are born done exactly as standalone submissions are, so
 // an all-cached group costs zero simulation work.
 func (s *Service) SubmitGroup(name string, specs []*scenario.Spec, reps, priority int) (*JobGroup, error) {
+	return s.SubmitGroupWithDeadline(name, specs, reps, priority, time.Time{})
+}
+
+// SubmitGroupWithDeadline is SubmitGroup with an absolute completion
+// deadline inherited by every child job (zero = none); see
+// SubmitWithDeadline for the per-job semantics.
+func (s *Service) SubmitGroupWithDeadline(name string, specs []*scenario.Spec, reps, priority int, deadline time.Time) (*JobGroup, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("service: group has no variants")
 	}
@@ -403,7 +561,7 @@ func (s *Service) SubmitGroup(name string, specs []*scenario.Spec, reps, priorit
 			return nil, err
 		}
 	}
-	g := s.publishGroup(name, specs, reps, priority)
+	g := s.publishGroup(name, specs, reps, priority, deadline)
 	s.submitVariants(g, specs)
 	return g, nil
 }
@@ -411,7 +569,7 @@ func (s *Service) SubmitGroup(name string, specs []*scenario.Spec, reps, priorit
 // publishGroup registers a new group in the ledger before any child is
 // submitted, so a concurrent DELETE can find (and interrupt) a group whose
 // expansion is still in flight.
-func (s *Service) publishGroup(name string, specs []*scenario.Spec, reps, priority int) *JobGroup {
+func (s *Service) publishGroup(name string, specs []*scenario.Spec, reps, priority int, deadline time.Time) *JobGroup {
 	if name == "" {
 		name = specs[0].Name
 	}
@@ -423,6 +581,7 @@ func (s *Service) publishGroup(name string, specs []*scenario.Spec, reps, priori
 	s.nextGroupID++
 	id := fmt.Sprintf("g%06d", s.nextGroupID)
 	g := newJobGroup(id, name, names, reps, priority, &s.met)
+	g.deadline = deadline
 	s.met.groupsActive.Add(1)
 	s.groups[id] = g
 	s.groupOrder = append(s.groupOrder, id)
@@ -444,7 +603,7 @@ func (s *Service) submitVariants(g *JobGroup, specs []*scenario.Spec) {
 			g.skipRemaining(len(specs)-i, "")
 			return
 		}
-		j, err := s.submit(spec, g.Reps, g.Priority, g)
+		j, err := s.submit(spec, g.Reps, g.Priority, g.deadline, g)
 		if err != nil {
 			g.skipRemaining(len(specs)-i, fmt.Sprintf("variant %s: %v", spec.Name, err))
 			return
@@ -555,9 +714,29 @@ func (s *Service) runLoop() {
 	}
 }
 
+// jobContext builds the job's execution context below the service base:
+// cancelled by DELETE and shutdown like before, and additionally bounded
+// by the effective deadline — the earlier of the client's absolute
+// ?deadline= and now + MaxJobRuntime — when either is set. A deadline
+// already in the past still runs the machinery: RunReplicatedCtx observes
+// the expired context before the first replicate, so the job fails fast
+// with a deadline error instead of being special-cased here.
+func (s *Service) jobContext(j *Job) (context.Context, context.CancelFunc) {
+	eff := j.Deadline
+	if s.cfg.MaxJobRuntime > 0 {
+		if bound := time.Now().Add(s.cfg.MaxJobRuntime); eff.IsZero() || bound.Before(eff) {
+			eff = bound
+		}
+	}
+	if eff.IsZero() {
+		return context.WithCancel(s.base)
+	}
+	return context.WithDeadline(s.base, eff)
+}
+
 // runJob executes one popped job through the singleflight cache.
 func (s *Service) runJob(j *Job) {
-	ctx, cancel := context.WithCancel(s.base)
+	ctx, cancel := s.jobContext(j)
 	defer cancel()
 	if !j.begin(cancel) {
 		return // cancelled while queued; cancelJob already accounted for it
@@ -574,14 +753,32 @@ func (s *Service) runJob(j *Job) {
 	computed, diskHit := false, false
 	for {
 		computed, diskHit = false, false
-		art, err = s.group.Do(j.Key, func() (*artifacts, error) {
-			computed = true
-			if dir, ok := s.cacheEntryDir(j.Key); ok {
-				if a, ok := loadArtifacts(dir); ok {
-					diskHit = true
-					return a, nil
+		art, err = s.group.Do(j.Key, func() (a *artifacts, err error) {
+			// A panicking compute must become an error before it unwinds
+			// into Group.Do: an unrecovered panic there would kill the
+			// runner goroutine and leave every joined waiter blocked on a
+			// done channel nobody will close. Panics below the replicate
+			// fan-out are already converted by the pool (runner.PanicError);
+			// this recover catches the rest — render bugs, chaos injection.
+			defer func() {
+				if r := recover(); r != nil {
+					if pe, ok := r.(*runner.PanicError); ok {
+						err = pe
+					} else {
+						err = &runner.PanicError{Value: r, Stack: debug.Stack()}
+					}
+					a = nil
 				}
+			}()
+			computed = true
+			if a, ok := s.loadFromDisk(j.Key); ok {
+				diskHit = true
+				return a, nil
 			}
+			if s.chaos.PanicJob() {
+				panic("chaos: injected job panic")
+			}
+			t0 := time.Now()
 			r, runErr := scenario.RunReplicatedCtx(ctx, j.Spec, j.Reps, s.pool, func(done, total int) {
 				j.progress(done)
 			})
@@ -592,7 +789,11 @@ func (s *Service) runJob(j *Job) {
 			if renderErr != nil {
 				return nil, renderErr
 			}
-			if dir, ok := s.cacheEntryDir(j.Key); ok {
+			// Only fresh, completed computations feed the admission
+			// controller's cost estimate: hits and joins cost nothing and
+			// would drag the EWMA toward zero.
+			s.adm.observe(time.Since(t0))
+			if dir, ok := s.cacheEntryDir(j.Key); ok && !s.chaos.DiskErr() {
 				// Persistence is best-effort: a failed write degrades the
 				// disk layer, never the response. A successful write is
 				// registered with the disk bound so the layer cannot grow
@@ -603,9 +804,11 @@ func (s *Service) runJob(j *Job) {
 			}
 			return a, nil
 		})
-		if err != nil && !computed && errors.Is(err, context.Canceled) && ctx.Err() == nil {
-			// We joined another job's flight and its owner was cancelled;
-			// the errored call is forgotten, so run it ourselves.
+		if err != nil && !computed && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// We joined another job's flight and its owner was cancelled or
+			// hit its own deadline; the errored call is forgotten, so run
+			// it ourselves — our context is still live.
 			continue
 		}
 		break
@@ -617,8 +820,14 @@ func (s *Service) runJob(j *Job) {
 		// result), or the CacheEntries bound would leak untracked entries.
 		s.recordCacheKey(j.Key)
 	}
+	// The journal entry is removed for every client-visible settlement
+	// (done, failed, a DELETE honored below) but retained when the drain
+	// cancelled the job: that work is still owed and is resubmitted by the
+	// next process. settle stays true on every arm except drain-cancel.
+	settle := true
+	var pe *runner.PanicError
 	switch {
-	case err == nil && ctx.Err() != nil:
+	case err == nil && ctx.Err() != nil && !errors.Is(ctx.Err(), context.DeadlineExceeded):
 		// The cancel request raced result availability (the last replicate
 		// was already simulating, or this job had joined another job's
 		// flight, which nothing interrupts). The DELETE was acknowledged,
@@ -626,7 +835,10 @@ func (s *Service) runJob(j *Job) {
 		// this job reports cancelled, not done.
 		s.met.doneCancelled.Add(1)
 		j.finishCancelled()
+		settle = !s.draining.Load()
 	case err == nil:
+		// Includes a deadline that raced result availability: the work is
+		// already paid for, so the result is served rather than discarded.
 		if computed && !diskHit {
 			s.met.cacheMisses.Add(1)
 		} else {
@@ -634,13 +846,35 @@ func (s *Service) runJob(j *Job) {
 		}
 		s.met.doneOK.Add(1)
 		j.complete(art, !computed || diskHit)
+	case errors.Is(err, context.DeadlineExceeded):
+		// The job's own deadline (client ?deadline= or MaxJobRuntime) cut
+		// the run off at a replicate boundary.
+		s.met.doneFailed.Add(1)
+		j.fail(s.deadlineMsg(j))
 	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
 		s.met.doneCancelled.Add(1)
 		j.finishCancelled()
+		settle = !s.draining.Load()
 	default:
+		if errors.As(err, &pe) {
+			s.met.jobPanics.Add(1)
+		}
 		s.met.doneFailed.Add(1)
 		j.fail(err.Error())
 	}
+	if settle {
+		s.journal.remove(j.ID)
+	}
+}
+
+// deadlineMsg renders the failure reason for a deadline-cut job, naming
+// which bound fired so clients can tell their own deadline from the
+// server cap.
+func (s *Service) deadlineMsg(j *Job) string {
+	if !j.Deadline.IsZero() && (s.cfg.MaxJobRuntime <= 0 || time.Now().After(j.Deadline)) {
+		return fmt.Sprintf("deadline exceeded: job deadline %s passed before the run completed", j.Deadline.UTC().Format(time.RFC3339))
+	}
+	return fmt.Sprintf("deadline exceeded: job exceeded the server max runtime %s", s.cfg.MaxJobRuntime)
 }
 
 // recordCacheKey notes a freshly completed memory-cache entry and evicts

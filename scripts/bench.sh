@@ -11,9 +11,11 @@
 # solver's per-event repair against the full re-solve baseline at 10k
 # flows (the "incremental" rows must stay well under the "full" row) and
 # its scaling at 100k; BenchmarkServiceSubmitCached is the scda-serve
-# cache hot path (HTTP submit of an already-cached spec, no simulation) and
+# cache hot path (HTTP submit of an already-cached spec, no simulation),
 # BenchmarkServiceGroupSubmitCached its job-group counterpart (a sweep
-# expanded server-side, every variant a cache hit);
+# expanded server-side, every variant a cache hit), and
+# BenchmarkServiceSubmitShed the admission-control rejection fast path (a
+# server pinned into overload answering 429 before reading the body);
 # BenchmarkAllFiguresSerial is the end-to-end figure suite at bench scale.
 # Compare a fresh run against the committed JSON: ns/op regressions > ~20%
 # or any B/op growth on the 0-alloc benchmarks deserve a look before
@@ -26,7 +28,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkChurn|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached' \
+    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkChurn|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached|BenchmarkServiceSubmitShed' \
     -benchmem ./internal/sim ./internal/flowsim ./internal/netsim ./internal/service | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkAllFiguresSerial' -benchtime=1x -benchmem . | tee -a "$tmp"
 

@@ -1,0 +1,245 @@
+// Command chaosload is the load/chaos driver behind scripts/chaos-smoke.sh:
+// a small traffic generator that abuses one scda-serve instance through the
+// retrying client package and verifies the robustness invariants the server
+// promises — every request answered (2xx or an honest 429 + Retry-After),
+// every accepted job reaching a terminal state, no hangs.
+//
+//	chaosload -base http://127.0.0.1:18081 -mode hammer -n 40
+//
+// Modes:
+//
+//	hammer  — submit -n distinct jobs through the retrying client, wait
+//	          for every one to settle, and report terminal-state counts.
+//	          Fails if any submission neither settles nor is refused
+//	          within the retry budget.
+//	burst   — fire -n raw submissions with NO retries as fast as
+//	          possible and classify the responses. Fails on any status
+//	          outside {200, 201, 429} or on a 429 without Retry-After —
+//	          the overload contract.
+//	backlog — submit -n slow jobs and exit immediately, leaving them
+//	          queued or running; the crash-recovery leg kills the server
+//	          now and expects the journal to carry these jobs across.
+//	waitall — poll /v1/jobs until every listed job is terminal (or the
+//	          -timeout expires), reporting the final tally; used after a
+//	          restart to wait out recovered work.
+//
+// The specs are generated from an embedded template, varied by -distinct
+// (seed rotation) so cache behavior is controllable: -distinct 1 makes
+// every submission one cache entry, -distinct n makes each unique.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service/client"
+)
+
+// specTemplate is the workload spec, kept tiny so one replicate runs in
+// tens of milliseconds; %d slots take the seed and the scenario-name
+// suffix. The shape mirrors the service tests' spec.
+const specTemplate = `{
+  "version": 1,
+  "name": "chaosload-%d",
+  "seed": %d,
+  "duration": %d,
+  "topology": {"kind": "fig6", "x": 5e7, "k": 3},
+  "workload": [{"generator": "dc", "params": {"ArrivalRate": 3}}],
+  "outputs": {"series": ["throughput"]}
+}`
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chaosload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8080", "scda-serve base URL")
+	mode := flag.String("mode", "hammer", "hammer | burst | backlog | waitall")
+	n := flag.Int("n", 20, "submissions (hammer, burst, backlog)")
+	distinct := flag.Int("distinct", 4, "distinct specs to rotate through (cache-key cardinality)")
+	duration := flag.Int("duration", 6, "simulated seconds per spec (larger = slower jobs)")
+	conc := flag.Int("conc", 8, "concurrent submitters")
+	deadline := flag.String("deadline", "", "?deadline= to attach to every submission")
+	timeout := flag.Duration("timeout", 3*time.Minute, "overall driver timeout")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*base, client.WithRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 8,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Budget:      *timeout,
+		Seed:        1,
+	}))
+
+	switch *mode {
+	case "hammer":
+		hammer(ctx, c, *n, *distinct, *duration, *conc, *deadline)
+	case "burst":
+		burst(ctx, *base, *n, *distinct, *duration, *conc, *deadline)
+	case "backlog":
+		backlog(ctx, c, *n, *distinct, *duration, *deadline)
+	case "waitall":
+		waitall(ctx, c)
+	default:
+		fail("unknown mode %q", *mode)
+	}
+}
+
+// spec renders the i-th submission's spec bytes.
+func spec(i, distinct, duration int) []byte {
+	v := i % distinct
+	return []byte(fmt.Sprintf(specTemplate, v, v+1, duration))
+}
+
+// hammer drives n submissions through the retrying client concurrently
+// and waits for each accepted job to settle.
+func hammer(ctx context.Context, c *client.Client, n, distinct, duration, conc int, deadline string) {
+	var mu sync.Mutex
+	tally := map[string]int{}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			st, err := c.Submit(ctx, spec(i, distinct, duration), client.SubmitOpts{Deadline: deadline})
+			if err == nil && !st.Terminal() {
+				st, err = c.WaitJob(ctx, st.ID)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				tally["refused"]++
+				fmt.Fprintf(os.Stderr, "chaosload: submission %d: %v\n", i, err)
+				return
+			}
+			tally[st.State]++
+		}()
+	}
+	wg.Wait()
+	report(tally)
+	if tally["queued"]+tally["running"] > 0 {
+		fail("jobs left unsettled")
+	}
+}
+
+// burst fires raw submissions with no retry and asserts the overload
+// contract on every response.
+func burst(ctx context.Context, base string, n, distinct, duration, conc int, deadline string) {
+	hc := &http.Client{Timeout: time.Minute}
+	var mu sync.Mutex
+	tally := map[string]int{}
+	bad := 0
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			url := base + "/v1/jobs"
+			if deadline != "" {
+				url += "?deadline=" + deadline
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(spec(i, distinct, duration))))
+			if err != nil {
+				fail("%v", err)
+			}
+			resp, err := hc.Do(req)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				bad++
+				fmt.Fprintf(os.Stderr, "chaosload: burst %d: %v\n", i, err)
+				return
+			}
+			resp.Body.Close()
+			tally[fmt.Sprint(resp.StatusCode)]++
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusCreated:
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					bad++
+					fmt.Fprintf(os.Stderr, "chaosload: burst %d: 429 without Retry-After\n", i)
+				}
+			default:
+				bad++
+				fmt.Fprintf(os.Stderr, "chaosload: burst %d: unexpected status %d\n", i, resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	report(tally)
+	if bad > 0 {
+		fail("%d responses broke the overload contract", bad)
+	}
+	if tally["429"] == 0 {
+		fmt.Println("chaosload: note: no submission was shed")
+	}
+}
+
+// backlog submits slow jobs and leaves them unfinished for the
+// crash-recovery leg.
+func backlog(ctx context.Context, c *client.Client, n, distinct, duration int, deadline string) {
+	accepted := 0
+	for i := 0; i < n; i++ {
+		st, err := c.Submit(ctx, spec(i, distinct, duration), client.SubmitOpts{Deadline: deadline})
+		if err != nil {
+			fail("backlog submission %d: %v", i, err)
+		}
+		fmt.Printf("chaosload: backlog %s state=%s\n", st.ID, st.State)
+		accepted++
+	}
+	fmt.Printf("chaosload: backlog accepted=%d\n", accepted)
+}
+
+// waitall polls the job list until everything is terminal.
+func waitall(ctx context.Context, c *client.Client) {
+	for {
+		sts, err := c.Jobs(ctx)
+		if err != nil {
+			fail("listing jobs: %v", err)
+		}
+		tally := map[string]int{}
+		pending := 0
+		for _, st := range sts {
+			tally[st.State]++
+			if !st.Terminal() {
+				pending++
+			}
+		}
+		if pending == 0 {
+			report(tally)
+			return
+		}
+		select {
+		case <-ctx.Done():
+			report(tally)
+			fail("%d jobs still unsettled at timeout", pending)
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// report prints the tally in a stable, grep-friendly single line.
+func report(tally map[string]int) {
+	line := "chaosload:"
+	for _, k := range []string{"done", "failed", "cancelled", "queued", "running", "refused", "200", "201", "429"} {
+		if tally[k] > 0 {
+			line += fmt.Sprintf(" %s=%d", k, tally[k])
+		}
+	}
+	fmt.Println(line)
+}
