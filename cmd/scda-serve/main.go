@@ -11,6 +11,7 @@
 //	           [-cache-max-bytes 1073741824] [-max-group-variants 256]
 //	           [-slo 0] [-max-job-runtime 0] [-journal-dir DIR]
 //	           [-heartbeat 15s] [-shutdown-timeout 10s] [-chaos SPEC]
+//	           [-self URL -peers URL,URL,... [-probe-interval 2s]]
 //
 //	# submit a scenario and watch it run
 //	curl -X POST --data-binary @scenarios/flash-crowd.json localhost:8080/v1/jobs
@@ -41,6 +42,16 @@
 // (kill -9 included) loses no accepted work — restart with the same
 // directory and the journal resubmits it; -chaos injects deterministic
 // faults (see internal/chaos) for robustness testing.
+//
+// Coordinator mode: start N processes with the same -peers list (and each
+// its own -self) and they form a static rendezvous-hash ring routing jobs
+// by canonical spec hash — the fleet behaves as one content-addressed
+// cache. Any peer accepts any request: submissions forward single-hop to
+// the owning peer, status/result/events/cancel for remote jobs proxy by
+// the ID's node prefix, sweep groups fan variants across the ring, and a
+// /readyz health prober (period -probe-interval) degrades to local
+// execution when an owner is down — results are byte-identical wherever
+// they run. See the Fleet section of ARCHITECTURE.md.
 package main
 
 import (
@@ -53,10 +64,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/ring"
 	"repro/internal/service"
 )
 
@@ -84,11 +97,26 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 15*time.Second, "idle heartbeat interval on live event streams (negative = off)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful drain after SIGINT/SIGTERM")
 	chaosSpec := flag.String("chaos", "", "fault injection, e.g. seed=7,latency=0.2,panic=0.1,diskerr=0.1,drop=0.1,maxlatency=50ms (empty = off)")
+	self := flag.String("self", "", "this peer's own base URL within a fleet, e.g. http://10.0.0.1:8080 (must appear in -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated base URLs of every fleet peer, -self included; setting -self/-peers turns on coordinator mode")
+	probeInterval := flag.Duration("probe-interval", 0, "peer health-probe period in coordinator mode (0 = 2s, negative = off)")
 	flag.Parse()
 
 	inj, err := chaos.Parse(*chaosSpec)
 	if err != nil {
 		fail("%v", err)
+	}
+
+	var peers []string
+	if *peersFlag != "" {
+		peers = strings.Split(*peersFlag, ",")
+	}
+	if *self != "" || len(peers) > 0 {
+		// Validate the ring up front: service.New panics on a bad fleet
+		// config, a static misconfiguration that deserves a polite message.
+		if _, err := ring.New(*self, peers); err != nil {
+			fail("%v", err)
+		}
 	}
 
 	svc := service.New(service.Config{
@@ -108,6 +136,9 @@ func main() {
 		JournalDir:        *journalDir,
 		HeartbeatInterval: *heartbeat,
 		Chaos:             inj,
+		Self:              *self,
+		Peers:             peers,
+		ProbeInterval:     *probeInterval,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -120,6 +151,10 @@ func main() {
 	}
 	fmt.Printf("scda-serve: listening on http://%s (jobs=%d workers=%d cache-dir=%q journal-dir=%q slo=%s %s)\n",
 		ln.Addr(), *jobs, poolWidth, *cacheDir, *journalDir, *slo, inj)
+	if rg := svc.Ring(); rg != nil {
+		fmt.Printf("scda-serve: coordinator mode, peer %d of %d (self=%s peers=%s)\n",
+			rg.SelfIndex(), rg.Len(), rg.Self(), strings.Join(rg.Peers(), ","))
+	}
 
 	// Full server timeouts: ReadHeaderTimeout against connections that
 	// never send headers, ReadTimeout against bodies that trickle forever,

@@ -1,0 +1,179 @@
+package ring
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Health-scoring constants: each observation (a periodic probe or an
+// inline transport failure reported by the forwarding path) folds into
+// an exponentially weighted moving score per peer, score' = α·obs +
+// (1-α)·score with obs ∈ {0, 1}. A peer is up while its score is at or
+// above upThreshold. With α = 0.5 and the threshold below, a healthy
+// peer (score 1.0) survives one missed probe (0.5) but goes down on the
+// second (0.25), and a dead peer comes back up after a single
+// successful probe (0.25 → 0.625) — fast ejection, faster recovery,
+// and no flapping on one dropped packet.
+const (
+	probeAlpha  = 0.5
+	upThreshold = 0.35
+)
+
+// PeerHealth is one peer's health snapshot, for metrics and status
+// pages.
+type PeerHealth struct {
+	// Peer is the normalized peer URL.
+	Peer string
+	// Up reports whether the peer is considered reachable.
+	Up bool
+	// Score is the current EWMA health score in [0, 1].
+	Score float64
+}
+
+// Prober tracks per-peer up/down health for a ring. Observations come
+// from two sources: periodic probes (Start's loop, or CheckOnce for
+// deterministic tests) and inline reports from the forwarding path
+// (ReportFailure/ReportSuccess — a failed forward is evidence exactly
+// like a failed probe, and marking it immediately spares the next
+// request the same timeout). Self is always up and never probed.
+type Prober struct {
+	self  string
+	peers []string // probed peers: the ring minus self
+	probe func(ctx context.Context, peer string) bool
+
+	mu    sync.Mutex
+	score map[string]float64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewProber builds a prober for the given ring using probe to test one
+// peer (true = healthy). Every peer starts healthy: a fleet boots
+// optimistic and ejects peers on evidence, rather than refusing to
+// forward until the first probe round completes.
+func NewProber(r *Ring, probe func(ctx context.Context, peer string) bool) *Prober {
+	p := &Prober{
+		self:  r.Self(),
+		probe: probe,
+		score: make(map[string]float64, r.Len()),
+		stop:  make(chan struct{}),
+	}
+	for _, peer := range r.Peers() {
+		p.score[peer] = 1.0
+		if peer != p.self {
+			p.peers = append(p.peers, peer)
+		}
+	}
+	return p
+}
+
+// Up reports whether peer is considered reachable. Self is always up;
+// unknown peers are down.
+func (p *Prober) Up(peer string) bool {
+	if peer == p.self {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.score[peer]
+	return ok && s >= upThreshold
+}
+
+// observe folds one observation into peer's score.
+func (p *Prober) observe(peer string, healthy bool) {
+	if peer == p.self {
+		return
+	}
+	obs := 0.0
+	if healthy {
+		obs = 1.0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.score[peer]; ok {
+		p.score[peer] = probeAlpha*obs + (1-probeAlpha)*s
+	}
+}
+
+// ReportFailure folds an inline transport failure (a forward or proxy
+// that could not reach the peer) into the peer's health, as strong as a
+// failed probe.
+func (p *Prober) ReportFailure(peer string) { p.observe(peer, false) }
+
+// ReportSuccess folds an inline success into the peer's health; the
+// forwarding path calls it on every completed exchange so a busy fleet
+// barely needs the background probes.
+func (p *Prober) ReportSuccess(peer string) { p.observe(peer, true) }
+
+// CheckOnce runs one synchronous probe round over every peer (self
+// excluded), in parallel, folding each outcome into the scores. Tests
+// call it directly to drive health transitions deterministically.
+func (p *Prober) CheckOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, peer := range p.peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			p.observe(peer, p.probe(ctx, peer))
+		}(peer)
+	}
+	wg.Wait()
+}
+
+// Snapshot returns every peer's health (self included, always up) in
+// sorted ring order, for the metrics exposition.
+func (p *Prober) Snapshot() []PeerHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerHealth, 0, len(p.score))
+	for peer, s := range p.score {
+		h := PeerHealth{Peer: peer, Up: s >= upThreshold, Score: s}
+		if peer == p.self {
+			h.Up, h.Score = true, 1.0
+		}
+		out = append(out, h)
+	}
+	sortHealth(out)
+	return out
+}
+
+// sortHealth orders a health snapshot by peer URL (ring order).
+func sortHealth(hs []PeerHealth) {
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0 && hs[j].Peer < hs[j-1].Peer; j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
+		}
+	}
+}
+
+// Start launches the background probe loop at the given interval; Stop
+// ends it. Starting twice is a programmer error (the loop is owned by
+// one service).
+func (p *Prober) Start(interval time.Duration) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				p.CheckOnce(ctx)
+				cancel()
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the background probe loop (if any) and waits for it.
+// Idempotent; safe without Start.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

@@ -1,0 +1,135 @@
+package ring
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testProber builds a 3-peer ring (self = first peer) whose probe
+// consults a mutable health map, so tests drive transitions exactly.
+func testProber(t *testing.T) (*Prober, *Ring, map[string]bool, *sync.Mutex) {
+	t.Helper()
+	peers := peerList(3)
+	r, err := New(peers[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	healthy := map[string]bool{peers[1]: true, peers[2]: true}
+	p := NewProber(r, func(ctx context.Context, peer string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return healthy[peer]
+	})
+	return p, r, healthy, &mu
+}
+
+func TestProberTransitions(t *testing.T) {
+	p, r, healthy, mu := testProber(t)
+	peers := r.Peers()
+	ctx := context.Background()
+
+	// Boot: everyone up, optimistic.
+	for _, peer := range peers {
+		if !p.Up(peer) {
+			t.Fatalf("peer %q not up at boot", peer)
+		}
+	}
+
+	// One failed round: score 1.0 → 0.5, still up (no flapping on one
+	// dropped probe). Two: 0.25, down.
+	mu.Lock()
+	healthy[peers[1]] = false
+	mu.Unlock()
+	p.CheckOnce(ctx)
+	if !p.Up(peers[1]) {
+		t.Fatal("one failed probe must not eject a peer")
+	}
+	p.CheckOnce(ctx)
+	if p.Up(peers[1]) {
+		t.Fatal("two failed probes must eject the peer")
+	}
+	if !p.Up(peers[2]) {
+		t.Fatal("healthy peer ejected alongside the sick one")
+	}
+
+	// Recovery: one successful probe brings it back (0.25 → 0.625).
+	mu.Lock()
+	healthy[peers[1]] = true
+	mu.Unlock()
+	p.CheckOnce(ctx)
+	if !p.Up(peers[1]) {
+		t.Fatal("one successful probe must recover the peer")
+	}
+}
+
+func TestProberInlineReports(t *testing.T) {
+	p, r, _, _ := testProber(t)
+	peer := r.Peers()[2]
+
+	// Inline failures are as strong as failed probes: two eject.
+	p.ReportFailure(peer)
+	if !p.Up(peer) {
+		t.Fatal("one inline failure must not eject")
+	}
+	p.ReportFailure(peer)
+	if p.Up(peer) {
+		t.Fatal("two inline failures must eject")
+	}
+	p.ReportSuccess(peer)
+	if !p.Up(peer) {
+		t.Fatal("an inline success must recover the peer")
+	}
+}
+
+func TestProberSelfAlwaysUp(t *testing.T) {
+	p, r, _, _ := testProber(t)
+	self := r.Self()
+	p.ReportFailure(self)
+	p.ReportFailure(self)
+	p.ReportFailure(self)
+	if !p.Up(self) {
+		t.Fatal("self must always be up")
+	}
+	for _, h := range p.Snapshot() {
+		if h.Peer == self && (!h.Up || h.Score != 1.0) {
+			t.Fatalf("self snapshot %+v not pinned healthy", h)
+		}
+	}
+}
+
+func TestProberSnapshotSortedAndUnknownDown(t *testing.T) {
+	p, r, _, _ := testProber(t)
+	if p.Up("http://nobody:1") {
+		t.Fatal("unknown peer must be down")
+	}
+	snap := p.Snapshot()
+	if len(snap) != r.Len() {
+		t.Fatalf("snapshot has %d entries, ring %d", len(snap), r.Len())
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Peer < snap[i-1].Peer {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Peer, snap[i].Peer)
+		}
+	}
+}
+
+func TestProberStartStop(t *testing.T) {
+	p, _, healthy, mu := testProber(t)
+	peers := peerList(3)
+	mu.Lock()
+	healthy[peers[1]] = false
+	mu.Unlock()
+	p.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Up(peers[1]) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Up(peers[1]) {
+		t.Fatal("background loop never ejected the dead peer")
+	}
+	p.Stop()
+	p.Stop() // idempotent
+}

@@ -1,0 +1,172 @@
+// Package ring is the placement layer of distributed scda-serve: a
+// static fleet of peers agreeing, with no coordination protocol, on
+// which peer owns which content-addressed key.
+//
+// Placement is rendezvous (highest-random-weight) hashing: every peer
+// scores every key with an independent hash of (peer, key), and the
+// peer with the highest score owns the key. Rendezvous hashing has the
+// two properties the fleet cache needs:
+//
+//   - Determinism without state: any peer holding the same peer list
+//     computes the same owner for any key, so routing needs no gossip,
+//     no leader, and no shared table — the spec hash *is* the route.
+//   - Minimal disruption: removing one of N peers remaps exactly the
+//     keys that peer owned (~1/N of the keyspace) and no others, so a
+//     node loss never invalidates the surviving peers' caches.
+//
+// The peer list is normalized (trailing slashes trimmed, duplicates
+// dropped) and sorted, so peers started with the same set of URLs in
+// any order agree on both placement and the node indices that prefix
+// fleet job IDs.
+//
+// The companion Prober tracks per-peer up/down health from periodic
+// probes (EWMA-style scoring), letting the service fall back to local
+// execution when an owner is down — degraded but available, never
+// wrong, since scenario runs are deterministic everywhere.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Ring is an immutable rendezvous-hash ring over a static peer list.
+// Create with New; the zero value is not usable.
+type Ring struct {
+	peers []string // normalized, sorted, unique
+	self  int      // index of this process's own URL in peers
+}
+
+// New builds a ring over the given peer base URLs (e.g.
+// "http://10.0.0.1:8080"), one of which must be self — the URL this
+// process is reachable at. The list is normalized (trailing slashes
+// trimmed, duplicates collapsed) and sorted, so every peer handed the
+// same set in any order builds an identical ring.
+func New(self string, peers []string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("ring: empty peer list")
+	}
+	self = normalize(self)
+	if self == "" {
+		return nil, fmt.Errorf("ring: empty self URL")
+	}
+	seen := make(map[string]bool, len(peers))
+	norm := make([]string, 0, len(peers))
+	for _, p := range peers {
+		n := normalize(p)
+		if n == "" {
+			return nil, fmt.Errorf("ring: empty peer URL in list %q", peers)
+		}
+		if !seen[n] {
+			seen[n] = true
+			norm = append(norm, n)
+		}
+	}
+	sort.Strings(norm)
+	r := &Ring{peers: norm, self: -1}
+	for i, p := range norm {
+		if p == self {
+			r.self = i
+		}
+	}
+	if r.self < 0 {
+		return nil, fmt.Errorf("ring: self %q is not in the peer list %v", self, norm)
+	}
+	return r, nil
+}
+
+// normalize canonicalizes one peer URL: surrounding space and trailing
+// slashes dropped, so "http://a:1/" and "http://a:1" are the same peer.
+func normalize(p string) string {
+	return strings.TrimRight(strings.TrimSpace(p), "/")
+}
+
+// Self returns this process's own normalized peer URL.
+func (r *Ring) Self() string { return r.peers[r.self] }
+
+// SelfIndex returns this process's node index — the position of its URL
+// in the sorted peer list, stable fleet-wide, used to prefix job IDs.
+func (r *Ring) SelfIndex() int { return r.self }
+
+// Len reports the number of peers.
+func (r *Ring) Len() int { return len(r.peers) }
+
+// Peers returns the normalized, sorted peer list (a copy).
+func (r *Ring) Peers() []string {
+	return append([]string(nil), r.peers...)
+}
+
+// Peer returns the peer URL at node index i; ok is false out of range.
+func (r *Ring) Peer(i int) (string, bool) {
+	if i < 0 || i >= len(r.peers) {
+		return "", false
+	}
+	return r.peers[i], true
+}
+
+// Index returns the node index of the given peer URL; ok is false for a
+// URL outside the ring.
+func (r *Ring) Index(peer string) (int, bool) {
+	n := normalize(peer)
+	for i, p := range r.peers {
+		if p == n {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Owner returns the peer that owns key: the rendezvous winner. Every
+// peer holding the same list computes the same owner.
+func (r *Ring) Owner(key string) string {
+	return r.peers[r.OwnerIndex(key)]
+}
+
+// OwnerIndex returns the owning peer's node index for key.
+func (r *Ring) OwnerIndex(key string) int {
+	best, bestScore := 0, uint64(0)
+	for i, p := range r.peers {
+		if s := score(p, key); s > bestScore || i == 0 {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// OwnsSelf reports whether this process owns key — the local-execution
+// criterion.
+func (r *Ring) OwnsSelf(key string) bool { return r.OwnerIndex(key) == r.self }
+
+// Rank returns every peer ordered by descending rendezvous score for
+// key: Rank(key)[0] is the owner, and the remainder is the deterministic
+// failover order a future replication layer would walk.
+func (r *Ring) Rank(key string) []string {
+	type scored struct {
+		peer string
+		s    uint64
+	}
+	all := make([]scored, len(r.peers))
+	for i, p := range r.peers {
+		all[i] = scored{p, score(p, key)}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].s > all[j].s })
+	out := make([]string, len(all))
+	for i, sc := range all {
+		out[i] = sc.peer
+	}
+	return out
+}
+
+// score is the rendezvous weight of (peer, key): FNV-1a 64 over the
+// peer URL, a NUL separator (so peer/key boundaries cannot alias), and
+// the key. Keys here are scenario spec hashes — already uniform — so a
+// fast non-cryptographic mix is enough for balance.
+func score(peer, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}

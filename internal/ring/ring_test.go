@@ -1,0 +1,192 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// peerList builds n synthetic peer URLs.
+func peerList(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		self    string
+		peers   []string
+		wantErr bool
+	}{
+		{"single peer", "http://a:1", []string{"http://a:1"}, false},
+		{"three peers", "http://b:1", []string{"http://a:1", "http://b:1", "http://c:1"}, false},
+		{"self not in list", "http://d:1", []string{"http://a:1", "http://b:1"}, true},
+		{"empty list", "http://a:1", nil, true},
+		{"empty self", "", []string{"http://a:1"}, true},
+		{"empty peer entry", "http://a:1", []string{"http://a:1", ""}, true},
+		{"trailing slash normalizes", "http://a:1/", []string{"http://a:1", "http://b:1/"}, false},
+		{"duplicates collapse", "http://a:1", []string{"http://a:1", "http://a:1/", "http://b:1"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := New(tc.self, tc.peers)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("New(%q, %v): want error, got ring %v", tc.self, tc.peers, r.Peers())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("New(%q, %v): %v", tc.self, tc.peers, err)
+			}
+			if got, _ := r.Peer(r.SelfIndex()); got != r.Self() {
+				t.Fatalf("SelfIndex %d resolves to %q, Self is %q", r.SelfIndex(), got, r.Self())
+			}
+		})
+	}
+}
+
+func TestNormalizationAndOrderInvariance(t *testing.T) {
+	peers := peerList(5)
+	a, err := New(peers[2], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same set shuffled, with trailing slashes and a duplicate.
+	shuffled := []string{peers[4] + "/", peers[1], peers[3], peers[0], peers[2], peers[0] + "/"}
+	b, err := New(peers[2]+"/", shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("len %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		pa, _ := a.Peer(i)
+		pb, _ := b.Peer(i)
+		if pa != pb {
+			t.Fatalf("peer %d: %q vs %q — ordering must be list-order independent", i, pa, pb)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("v1-key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q across equivalent rings", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestPlacementDeterministicAcrossPeers(t *testing.T) {
+	peers := peerList(4)
+	rings := make([]*Ring, len(peers))
+	for i, self := range peers {
+		r, err := New(self, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("v1-%032x", rand.New(rand.NewSource(int64(i))).Uint64())
+		want := rings[0].OwnerIndex(key)
+		for _, r := range rings[1:] {
+			if got := r.OwnerIndex(key); got != want {
+				t.Fatalf("key %q: peer disagreement, owner %d vs %d", key, got, want)
+			}
+		}
+		if rings[want].OwnsSelf(key) != true {
+			t.Fatalf("owner %d does not believe it owns %q", want, key)
+		}
+		if rank := rings[0].Rank(key); rank[0] != rings[0].Owner(key) {
+			t.Fatalf("Rank(%q)[0] = %q, Owner = %q", key, rank[0], rings[0].Owner(key))
+		}
+	}
+}
+
+// TestBalance pins placement uniformity with a loose chi-square bound:
+// 10k uniform keys over k peers should land ~n/k each. For a uniform
+// hash the chi-square statistic concentrates around k-1; a bound of
+// 4·(k-1)+16 is far above any honest fluctuation (p ≪ 1e-6 to trip) but
+// catches gross skew — a broken mix, a peer that never wins.
+func TestBalance(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 8} {
+		k := k
+		t.Run(fmt.Sprintf("%dpeers", k), func(t *testing.T) {
+			peers := peerList(k)
+			r, err := New(peers[0], peers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 10000
+			counts := make([]int, k)
+			for i := 0; i < n; i++ {
+				// Keys shaped like real spec hashes: a version prefix and
+				// hex digits.
+				counts[r.OwnerIndex(fmt.Sprintf("v1-%032x", uint64(i)*0x9e3779b97f4a7c15))]++
+			}
+			exp := float64(n) / float64(k)
+			chi2 := 0.0
+			for _, c := range counts {
+				d := float64(c) - exp
+				chi2 += d * d / exp
+			}
+			if limit := 4.0*float64(k-1) + 16; chi2 > limit {
+				t.Fatalf("chi-square %.1f over %.1f: counts %v, expected ~%.0f per peer", chi2, limit, counts, exp)
+			}
+			for i, c := range counts {
+				if c == 0 {
+					t.Fatalf("peer %d owns zero of %d keys: %v", i, n, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestMinimalDisruption pins the rendezvous guarantee the fleet cache
+// depends on: removing one of N peers remaps exactly the keys that peer
+// owned — every key owned by a survivor keeps its owner, so a node loss
+// never invalidates surviving caches.
+func TestMinimalDisruption(t *testing.T) {
+	const n = 10000
+	peers := peerList(5)
+	full, err := New(peers[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := peers[3]
+	var survivors []string
+	for _, p := range peers {
+		if p != removed {
+			survivors = append(survivors, p)
+		}
+	}
+	small, err := New(peers[0], survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapped, ownedByRemoved := 0, 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("v1-%032x", uint64(i)*0x9e3779b97f4a7c15)
+		before := full.Owner(key)
+		after := small.Owner(key)
+		if before == removed {
+			ownedByRemoved++
+			remapped++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %q → %q although its owner survived", key, before, after)
+		}
+	}
+	if ownedByRemoved == 0 {
+		t.Fatal("removed peer owned no keys; balance test should have caught this")
+	}
+	// ~1/N of the keyspace, loosely: within a factor of two of n/5.
+	if lo, hi := n/10, 2*n/5; ownedByRemoved < lo || ownedByRemoved > hi {
+		t.Fatalf("removed peer owned %d of %d keys, outside the loose [%d, %d] 1/N band", ownedByRemoved, n, lo, hi)
+	}
+}

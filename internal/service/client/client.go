@@ -115,11 +115,14 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// Client talks to one scda-serve instance with retries. Create with New;
-// the zero value is not usable.
+// Client talks to scda-serve with retries — one instance (New) or a
+// coordinator-mode fleet (NewMulti), where a failed attempt rotates to
+// the next endpoint before retrying. Create with New or NewMulti; the
+// zero value is not usable.
 type Client struct {
-	base   string
-	http   *http.Client
+	bases []string
+	http  *http.Client
+
 	policy RetryPolicy
 
 	// sleep pauses between retries; tests replace it to run backoff
@@ -128,6 +131,7 @@ type Client struct {
 
 	mu  sync.Mutex
 	rng *rand.Rand
+	cur int // index into bases of the endpoint attempts currently use
 }
 
 // Option customizes a Client at construction.
@@ -153,8 +157,27 @@ func WithSleep(fn func(ctx context.Context, d time.Duration) error) Option {
 // New returns a client for the service at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
+	return NewMulti([]string{baseURL}, opts...)
+}
+
+// NewMulti returns a client over several equivalent endpoints — the
+// peers of a coordinator-mode fleet, where any node accepts any request
+// (submissions route internally, remote IDs proxy). Requests stick to
+// one endpoint until an attempt fails with a transport error or a
+// retryable status; the retry then moves to the next endpoint
+// round-robin, so a dead or draining peer costs one failed attempt, not
+// a failed request. An empty list panics: it is a programming error,
+// same as New("").
+func NewMulti(baseURLs []string, opts ...Option) *Client {
+	if len(baseURLs) == 0 {
+		panic("client: NewMulti with no endpoints")
+	}
+	bases := make([]string, len(baseURLs))
+	for i, u := range baseURLs {
+		bases[i] = strings.TrimRight(u, "/")
+	}
 	c := &Client{
-		base:   strings.TrimRight(baseURL, "/"),
+		bases:  bases,
 		http:   &http.Client{Timeout: 2 * time.Minute},
 		policy: RetryPolicy{},
 		sleep: func(ctx context.Context, d time.Duration) error {
@@ -176,6 +199,21 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
+// endpoint returns the base URL attempts currently use.
+func (c *Client) endpoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.cur]
+}
+
+// rotate moves to the next endpoint after a failed attempt; a no-op
+// with a single endpoint.
+func (c *Client) rotate() {
+	c.mu.Lock()
+	c.cur = (c.cur + 1) % len(c.bases)
+	c.mu.Unlock()
+}
+
 // jitter scales d to [d/2, d): full-magnitude synchronized retries are
 // what turns one overload into a retry storm, so every client spreads
 // its schedule.
@@ -191,9 +229,9 @@ func (c *Client) jitter(d time.Duration) time.Duration {
 // caller owns closing nothing: the full response body is read and
 // returned.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte) ([]byte, http.Header, error) {
-	u := c.base + path
+	suffix := path
 	if len(query) > 0 {
-		u += "?" + query.Encode()
+		suffix += "?" + query.Encode()
 	}
 	var lastErr error
 	delay := c.policy.BaseDelay
@@ -219,7 +257,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		req, err := http.NewRequestWithContext(ctx, method, c.endpoint()+suffix, rd)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -231,12 +269,14 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 				return nil, nil, ctx.Err()
 			}
 			lastErr = err
+			c.rotate()
 			continue
 		}
 		b, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
 			lastErr = err
+			c.rotate()
 			continue
 		}
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
@@ -247,6 +287,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			return nil, nil, apiErr
 		}
 		lastErr = apiErr
+		c.rotate()
 	}
 	return nil, nil, fmt.Errorf("giving up after %d attempts: %w", c.policy.MaxAttempts, lastErr)
 }
@@ -404,7 +445,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
 // traffic. Transport errors report not-ready rather than failing: the
 // question "is it up?" expects no for a dead server.
 func (c *Client) Ready(ctx context.Context) bool {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint()+"/readyz", nil)
 	if err != nil {
 		return false
 	}

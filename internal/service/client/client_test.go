@@ -152,6 +152,76 @@ func TestTransportErrorsRetry(t *testing.T) {
 	}
 }
 
+func TestMultiEndpointFailover(t *testing.T) {
+	// First endpoint is dead, second is live: the transport failure costs
+	// one attempt, the retry rotates, and the request succeeds. Later
+	// requests stick to the live endpoint — no further rotation, no
+	// further sleeps.
+	var hits atomic.Int64
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{"id": "n1-j000001", "state": "done"}`))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // nothing listens here anymore
+
+	var delays []time.Duration
+	c := NewMulti([]string{dead.URL, live.URL}, recordingSleep(&delays),
+		WithRetryPolicy(RetryPolicy{Budget: time.Minute}))
+	st, err := c.Submit(context.Background(), []byte(`{}`), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "n1-j000001" {
+		t.Fatalf("status %+v", st)
+	}
+	if len(delays) != 1 {
+		t.Fatalf("slept %d times, want 1 (the rotation retry)", len(delays))
+	}
+	if _, err := c.Job(context.Background(), "n1-j000001"); err != nil {
+		t.Fatal(err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("live endpoint saw %d requests, want 2 — client did not stick after failover", n)
+	}
+	if len(delays) != 1 {
+		t.Fatalf("second request slept (%v): client rotated away from a healthy endpoint", delays)
+	}
+}
+
+func TestMultiEndpointRotatesOnShed(t *testing.T) {
+	// A 429 from one peer rotates to the next before retrying, so a
+	// draining peer sheds exactly one attempt per request.
+	var shedHits, liveHits atomic.Int64
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shedHits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error": "overloaded"}`))
+	}))
+	defer shed.Close()
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		liveHits.Add(1)
+		w.Write([]byte(`{"id": "n1-j000002", "state": "done"}`))
+	}))
+	defer live.Close()
+
+	var delays []time.Duration
+	c := NewMulti([]string{shed.URL, live.URL}, recordingSleep(&delays),
+		WithRetryPolicy(RetryPolicy{Budget: time.Minute}))
+	st, err := c.Submit(context.Background(), []byte(`{}`), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "n1-j000002" {
+		t.Fatalf("status %+v", st)
+	}
+	if shedHits.Load() != 1 || liveHits.Load() != 1 {
+		t.Fatalf("shed saw %d, live saw %d — want exactly one attempt each", shedHits.Load(), liveHits.Load())
+	}
+}
+
 func TestWaitJobPollsToTerminal(t *testing.T) {
 	var hits atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

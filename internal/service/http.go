@@ -56,6 +56,16 @@ import (
 // (400 invalid spec or knob, 404 unknown job or path, 405 wrong method,
 // 409 conflict with the job's or group's state, 429 shed by admission
 // control).
+//
+// In coordinator mode (Config.Self/Peers set) the same API is served by
+// every peer: job submissions route across the fleet by spec hash,
+// status/result/events/cancel requests for a job or group minted
+// elsewhere are transparently proxied to its home peer, and
+// GET /v1/jobs/{id}/artifacts (coordinator mode only) serves a done
+// job's full artifact set as base64 JSON — the fleet-internal bulk
+// transfer behind remote execution. Requests that already crossed one
+// peer hop (the X-Scda-Forwarded header) are never forwarded again;
+// a misrouted one is answered 502.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -138,13 +148,17 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	diskEntries, diskBytes := s.disk.stats()
-	s.met.writeTo(w, s.pool.Workers(), s.cfg.JobRunners, s.CacheLen(), diskEntries, diskBytes)
+	s.met.writeTo(w, s.pool.Workers(), s.cfg.JobRunners, s.CacheLen(), diskEntries, diskBytes, s.PeerHealth())
 }
 
 // handleJobs serves the collection: POST submits, GET lists.
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
+		if s.ring != nil {
+			s.handleSubmitRing(w, r)
+			return
+		}
 		s.handleSubmit(w, r)
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, s.Jobs())
@@ -247,6 +261,14 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.finishSubmit(w, r, spec, reps, priority, deadline)
+}
+
+// finishSubmit is the back half of a local job submission — submit,
+// optional ?wait=true block, status response — shared by the single-node
+// edge and every coordinator-mode arm that executes locally (ownership,
+// degraded fallback, forwarded arrivals).
+func (s *Service) finishSubmit(w http.ResponseWriter, r *http.Request, spec *scenario.Spec, reps, priority int, deadline time.Time) {
 	j, err := s.SubmitWithDeadline(spec, reps, priority, deadline)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -272,10 +294,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, st)
 }
 
-// handleJob routes /v1/jobs/{id}[/result|/events].
+// handleJob routes /v1/jobs/{id}[/result|/events|/artifacts]. In
+// coordinator mode an ID minted by another peer is proxied to it.
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
+	if peer, remote := s.routeRemote(id); remote {
+		s.proxyToPeer(w, r, peer)
+		return
+	}
 	j, ok := s.Job(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no job %q", id)
@@ -303,9 +330,33 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleEvents(w, r, j)
+	case "artifacts":
+		if s.ring == nil {
+			// Fleet-internal bulk transfer; not part of the single-node
+			// API surface.
+			httpError(w, http.StatusNotFound, "no resource %q under job %s", sub, id)
+			return
+		}
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on artifacts", r.Method)
+			return
+		}
+		s.handleArtifacts(w, j)
 	default:
 		httpError(w, http.StatusNotFound, "no resource %q under job %s", sub, id)
 	}
+}
+
+// handleArtifacts serves a done job's complete artifact set as a JSON
+// object of base64 file bytes — the coordinator's bulk fetch after a
+// remote execution, so the fetching peer serves byte-identical results.
+func (s *Service) handleArtifacts(w http.ResponseWriter, j *Job) {
+	art, ok := j.Artifacts()
+	if !ok {
+		httpError(w, http.StatusConflict, "job %s is %s; artifacts exist only once it is done", j.ID, j.Status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, art.files)
 }
 
 // handleCancel cancels a job over the API.
@@ -564,10 +615,16 @@ func parseGroupBody(body []byte) (string, []*scenario.Spec, error) {
 	return name, variants, nil
 }
 
-// handleGroup routes /v1/groups/{id}[/result|/events].
+// handleGroup routes /v1/groups/{id}[/result|/events]. In coordinator
+// mode a group minted by another peer is proxied to it (groups live on
+// their entry peer; only their children's computations fan out).
 func (s *Service) handleGroup(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/groups/")
 	id, sub, _ := strings.Cut(rest, "/")
+	if peer, remote := s.routeRemote(id); remote {
+		s.proxyToPeer(w, r, peer)
+		return
+	}
 	g, ok := s.Group(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no group %q", id)

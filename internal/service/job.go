@@ -74,6 +74,10 @@ type Job struct {
 	// group observes every event the job emits. Immutable after newJob.
 	group *JobGroup
 
+	// hash is the bare canonical spec hash (Key without the reps suffix),
+	// the coordinator's routing key. Immutable after newJob.
+	hash string
+
 	mu       sync.Mutex
 	state    State
 	err      string
@@ -108,11 +112,12 @@ type Status struct {
 	Error string `json:"error,omitempty"`
 }
 
-func newJob(id string, spec *scenario.Spec, key string, reps, priority int, deadline time.Time, g *JobGroup) *Job {
+func newJob(id string, spec *scenario.Spec, key, hash string, reps, priority int, deadline time.Time, g *JobGroup) *Job {
 	j := &Job{
 		ID:       id,
 		Spec:     spec,
 		Key:      key,
+		hash:     hash,
 		Reps:     reps,
 		Priority: priority,
 		Deadline: deadline,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/ring"
 )
 
 // metrics is the service's dependency-free instrumentation: a handful of
@@ -28,12 +30,22 @@ type metrics struct {
 	groupsDone      atomic.Int64 // counter: groups whose variants all completed
 	groupsFailed    atomic.Int64 // counter: groups with a failed variant or submission
 	groupsCancelled atomic.Int64 // counter: groups cancelled before completing
+
+	// Coordinator-mode families, rendered only when the service has a
+	// ring so the single-node exposition stays byte-stable.
+	ringForwards  atomic.Int64 // counter: submissions forwarded to their owning peer
+	ringProxied   atomic.Int64 // counter: ID-routed requests proxied to their home peer
+	ringRemote    atomic.Int64 // counter: local jobs executed on their owning peer
+	ringFallbacks atomic.Int64 // counter: remote work degraded to local execution
+	ringLoops     atomic.Int64 // counter: forwarded requests refused 502 by the loop guard
 }
 
 // writeTo renders the exposition text. The non-counter arguments are
 // point-in-time gauges owned by the Service (pool width, runner count,
-// cache sizes) rather than the metrics struct.
-func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries, diskEntries int, diskBytes int64) {
+// cache sizes, peer health) rather than the metrics struct; a nil peers
+// slice means single-node, which renders no ring families at all so the
+// established exposition is byte-for-byte unchanged.
+func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries, diskEntries int, diskBytes int64, peers []ring.PeerHealth) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -71,4 +83,25 @@ func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries, di
 	gauge("scda_job_runners", "Job runner goroutines (the job-level concurrency bound).", int64(jobRunners))
 	gauge("scda_job_runners_busy", "Job runners currently executing a job; busy/total is worker utilization.", m.jobsRunning.Load())
 	gauge("scda_pool_workers", "Replicate fan-out pool width shared by all jobs.", int64(poolWorkers))
+
+	if peers == nil {
+		return
+	}
+	gauge("scda_ring_peers", "Peers in the placement ring, this node included.", int64(len(peers)))
+	fmt.Fprintf(w, "# HELP scda_ring_peer_up Peer health from the /readyz prober: 1 up, 0 down.\n")
+	fmt.Fprintf(w, "# TYPE scda_ring_peer_up gauge\n")
+	for _, p := range peers {
+		up := 0
+		if p.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "scda_ring_peer_up{peer=%q} %d\n", p.Peer, up)
+	}
+	fmt.Fprintf(w, "# HELP scda_ring_forwards_total Requests sent to another peer, by kind: submit (edge forward), proxy (ID-routed), execute (remote job execution).\n")
+	fmt.Fprintf(w, "# TYPE scda_ring_forwards_total counter\n")
+	fmt.Fprintf(w, "scda_ring_forwards_total{kind=\"submit\"} %d\n", m.ringForwards.Load())
+	fmt.Fprintf(w, "scda_ring_forwards_total{kind=\"proxy\"} %d\n", m.ringProxied.Load())
+	fmt.Fprintf(w, "scda_ring_forwards_total{kind=\"execute\"} %d\n", m.ringRemote.Load())
+	counter("scda_ring_local_fallbacks_total", "Remote-owned work executed locally because the owner was down or unreachable.", m.ringFallbacks.Load())
+	counter("scda_ring_loop_rejects_total", "Forwarded requests refused with 502 by the single-hop loop guard.", m.ringLoops.Load())
 }

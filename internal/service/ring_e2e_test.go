@@ -1,0 +1,618 @@
+// End-to-end coordinator-mode tests: real multi-peer rings built by the
+// servicetest harness, driven over HTTP exactly as external clients and
+// peers drive each other. The external test package keeps these honest —
+// everything here goes through the public API surface.
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/service/servicetest"
+)
+
+// ringSpec renders a cheap distinct scenario per seed: one fig6 run
+// small enough that a whole fleet of them stays in test-suite budget.
+func ringSpec(seed int) string {
+	return fmt.Sprintf(`{
+  "version": 1,
+  "name": "ring-e2e",
+  "seed": %d,
+  "duration": 6,
+  "topology": {"kind": "fig6", "x": 5e7, "k": 3},
+  "workload": [{"generator": "dc", "params": {"ArrivalRate": 3}}],
+  "outputs": {"series": ["throughput", "fct-cdf"]}
+}`, seed)
+}
+
+// specHash computes the canonical hash a submission of body routes by.
+func specHash(t *testing.T, body string) string {
+	t.Helper()
+	spec, err := scenario.Parse(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// postJob submits a spec body to base and decodes the job status.
+func postJob(t *testing.T, base, body, query string) (service.Status, int) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	var st service.Status
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("decoding %s: %v", b, err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// getBytes fetches a URL and returns body and status code.
+func getBytes(t *testing.T, url string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return b, resp.StatusCode
+}
+
+// metricValue reads one unlabeled metric family's value from a peer's
+// /metrics exposition (0 when absent).
+func metricValue(t *testing.T, base, name string) int64 {
+	t.Helper()
+	b, code := getBytes(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics from %s: %d", base, code)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// nodeOf parses the node index prefix off a fleet job or group ID.
+func nodeOf(t *testing.T, id string) int {
+	t.Helper()
+	if len(id) < 2 || id[0] != 'n' {
+		t.Fatalf("id %q carries no node prefix", id)
+	}
+	dash := strings.IndexByte(id, '-')
+	n, err := strconv.Atoi(id[1:dash])
+	if err != nil {
+		t.Fatalf("id %q: %v", id, err)
+	}
+	return n
+}
+
+// singleNode starts a plain single-node reference service.
+func singleNode(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	svc := service.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+// TestRingParityAndFleetDedup is the core coordinator-mode guarantee:
+// the same specs submitted to a 3-peer ring through rotating entry
+// peers produce results byte-identical to a single node, every
+// forwarded submission lands on the spec's owner in one hop (the ID's
+// node prefix proves where it ran), results are fetchable from any
+// peer, and the fleet computes each spec exactly once no matter where
+// it was submitted.
+func TestRingParityAndFleetDedup(t *testing.T) {
+	fleet := servicetest.StartRing(t, 3, nil)
+	ref := singleNode(t, service.Config{Workers: 1, JobRunners: 2})
+
+	const nSpecs = 4
+	kinds := []string{"", "?csv=summary", "?csv=throughput", "?csv=fct-cdf"}
+	for i := 0; i < nSpecs; i++ {
+		body := ringSpec(100 + i)
+		owner := fleet.OwnerIndex(specHash(t, body))
+		entry := fleet.Peers[i%3]
+
+		// Single-node reference bytes for every artifact kind.
+		refSt, code := postJob(t, ref.URL, body, "?wait=true")
+		if code != http.StatusOK || refSt.State != service.StateDone {
+			t.Fatalf("reference submit %d: %d %+v", i, code, refSt)
+		}
+		want := make([][]byte, len(kinds))
+		for k, q := range kinds {
+			b, code := getBytes(t, ref.URL+"/v1/jobs/"+refSt.ID+"/result"+q)
+			if code != http.StatusOK {
+				t.Fatalf("reference result %s: %d", q, code)
+			}
+			want[k] = b
+		}
+
+		st, code := postJob(t, entry.URL, body, "?wait=true")
+		if code != http.StatusOK || st.State != service.StateDone {
+			t.Fatalf("ring submit %d via n%d: %d %+v", i, entry.Index, code, st)
+		}
+		if st.CacheHit {
+			t.Fatalf("spec %d: first fleet submission must compute, got a cache hit", i)
+		}
+		// Single hop, right peer: the job was minted by the spec's owner,
+		// whether the entry peer owned it or forwarded exactly once.
+		if got := nodeOf(t, st.ID); got != owner {
+			t.Fatalf("spec %d entered via n%d but ran on n%d; owner is n%d", i, entry.Index, got, owner)
+		}
+		// Results are served byte-identically from every peer, owner or
+		// not — remote fetches exercise the transparent proxy.
+		for _, p := range fleet.Peers {
+			for k, q := range kinds {
+				b, code := getBytes(t, p.URL+"/v1/jobs/"+st.ID+"/result"+q)
+				if code != http.StatusOK {
+					t.Fatalf("spec %d result %s via n%d: %d", i, q, p.Index, code)
+				}
+				if !bytes.Equal(b, want[k]) {
+					t.Fatalf("spec %d result %s via n%d differs from single-node bytes", i, q, p.Index)
+				}
+			}
+		}
+	}
+
+	// Resubmitting every spec through a different entry peer is a fleet
+	// cache hit: N more submissions, zero more computes.
+	for i := 0; i < nSpecs; i++ {
+		entry := fleet.Peers[(i+1)%3]
+		st, code := postJob(t, entry.URL, ringSpec(100+i), "?wait=true")
+		if code != http.StatusOK || st.State != service.StateDone || !st.CacheHit {
+			t.Fatalf("resubmit %d via n%d: %d %+v, want a cache hit", i, entry.Index, code, st)
+		}
+	}
+
+	// Fleet-wide dedup: across all peers, each distinct spec was computed
+	// exactly once (remote fetches count on neither side's miss counter).
+	var misses int64
+	for _, p := range fleet.Peers {
+		misses += metricValue(t, p.URL, "scda_cache_misses_total")
+	}
+	if misses != nSpecs {
+		t.Fatalf("fleet computed %d times for %d distinct specs", misses, nSpecs)
+	}
+}
+
+// TestRingShippedScenarioParity runs the shipped scenarios/ specs
+// through a 3-peer ring via rotating entry peers and byte-diffs every
+// artifact — the result document and each CSV kind — against a
+// single-node service. -short keeps only the sub-100ms specs, and the
+// race detector drops the multi-second ones (see race_on_test.go);
+// fluid-100k.json (~8 min single-core) is never run here, its
+// service-path parity is covered by scripts/service-smoke.sh.
+func TestRingShippedScenarioParity(t *testing.T) {
+	specs := []struct {
+		file    string
+		inShort bool // cheap enough for -short
+		inRace  bool // cheap enough for -race
+	}{
+		{"paper-fig6.json", true, true},
+		{"failure-storm.json", true, true},
+		{"flash-crowd.json", false, true},
+		{"diurnal-cdn.json", false, false},
+		{"mixed-sla.json", false, false},
+	}
+	// power-save.json is a sweep; it runs in the group leg below.
+	fleet := servicetest.StartRing(t, 3, nil)
+	ref := singleNode(t, service.Config{JobRunners: 2})
+
+	kinds := []string{"", "?csv=summary", "?csv=throughput", "?csv=fct-cdf", "?csv=afct", "?csv=trace"}
+	for i, sp := range specs {
+		if testing.Short() && !sp.inShort {
+			t.Logf("skipping %s in -short mode", sp.file)
+			continue
+		}
+		if raceEnabled && !sp.inRace {
+			t.Logf("skipping %s under -race", sp.file)
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join("..", "..", "scenarios", sp.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := string(raw)
+		entry := fleet.Peers[i%3]
+
+		refSt, code := postJob(t, ref.URL, body, "?wait=true")
+		if code != http.StatusOK || refSt.State != service.StateDone {
+			t.Fatalf("%s reference: %d %+v", sp.file, code, refSt)
+		}
+		st, code := postJob(t, entry.URL, body, "?wait=true")
+		if code != http.StatusOK || st.State != service.StateDone {
+			t.Fatalf("%s via n%d: %d %+v", sp.file, entry.Index, code, st)
+		}
+		fetch := fleet.Peers[(i+1)%3] // never the entry: exercise routing
+		for _, q := range kinds {
+			want, refCode := getBytes(t, ref.URL+"/v1/jobs/"+refSt.ID+"/result"+q)
+			got, ringCode := getBytes(t, fetch.URL+"/v1/jobs/"+st.ID+"/result"+q)
+			if refCode != ringCode {
+				t.Fatalf("%s result %q: single-node %d vs ring %d", sp.file, q, refCode, ringCode)
+			}
+			if refCode == http.StatusOK && !bytes.Equal(got, want) {
+				t.Fatalf("%s result %q via n%d differs from single-node bytes", sp.file, q, fetch.Index)
+			}
+		}
+	}
+
+	if testing.Short() || raceEnabled {
+		t.Log("skipping the power-save group leg in -short mode / under -race")
+		return
+	}
+	raw, err := os.ReadFile(filepath.Join("..", "..", "scenarios", "power-save.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postGroup := func(base string) service.GroupStatus {
+		resp, err := http.Post(base+"/v1/groups?wait=true", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		var st service.GroupStatus
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("power-save group: %d %s", resp.StatusCode, b)
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	refG := postGroup(ref.URL)
+	ringG := postGroup(fleet.Peers[1].URL)
+	if refG.State != service.StateDone || ringG.State != service.StateDone {
+		t.Fatalf("power-save groups ended %s (single-node) / %s (ring)", refG.State, ringG.State)
+	}
+	for _, q := range []string{"?csv=summary", "?csv=throughput", "?csv=fct-cdf"} {
+		want, refCode := getBytes(t, ref.URL+"/v1/groups/"+refG.ID+"/result"+q)
+		got, ringCode := getBytes(t, fleet.Peers[2].URL+"/v1/groups/"+ringG.ID+"/result"+q)
+		if refCode != ringCode {
+			t.Fatalf("power-save group %q: single-node %d vs ring %d", q, refCode, ringCode)
+		}
+		if refCode == http.StatusOK && !bytes.Equal(got, want) {
+			t.Fatalf("power-save group %q differs from single-node bytes", q)
+		}
+	}
+}
+
+// TestRingOwnerDownFallback pins the degraded mode: with a spec's owner
+// dead, any other peer serves the submission locally (available, never
+// wrong), and once the owner passes probes again new submissions route
+// back to it.
+func TestRingOwnerDownFallback(t *testing.T) {
+	fleet := servicetest.StartRing(t, 3, nil)
+
+	// Find two specs owned by the same non-zero peer, entered via a
+	// different peer; seeds are cheap, so scan until placement fits.
+	var bodyA, bodyB string
+	owner := -1
+	for seed := 200; bodyB == ""; seed++ {
+		body := ringSpec(seed)
+		o := fleet.OwnerIndex(specHash(t, body))
+		switch {
+		case bodyA == "" && o != 0:
+			bodyA, owner = body, o
+		case bodyA != "" && o == owner:
+			bodyB = body
+		}
+		if seed > 400 {
+			t.Fatal("no suitable seeds in 200 tries; placement is broken")
+		}
+	}
+	entry := fleet.Peers[0]
+
+	fleet.Peers[owner].Crash()
+	fleet.ProbeAll(2) // two failed rounds eject the peer everywhere
+
+	st, code := postJob(t, entry.URL, bodyA, "?wait=true")
+	if code != http.StatusOK || st.State != service.StateDone {
+		t.Fatalf("submit with owner down: %d %+v", code, st)
+	}
+	if got := nodeOf(t, st.ID); got != entry.Index {
+		t.Fatalf("owner n%d is down; job ran on n%d, want local fallback on n%d", owner, got, entry.Index)
+	}
+	if v := metricValue(t, entry.URL, "scda_ring_local_fallbacks_total"); v == 0 {
+		t.Fatal("local fallback not counted")
+	}
+
+	// Recovery: the owner comes back, one successful round restores it,
+	// and the next submission it owns routes to it again.
+	fleet.Peers[owner].Restart(t)
+	fleet.ProbeAll(1)
+	st, code = postJob(t, entry.URL, bodyB, "?wait=true")
+	if code != http.StatusOK || st.State != service.StateDone {
+		t.Fatalf("submit after owner recovery: %d %+v", code, st)
+	}
+	if got := nodeOf(t, st.ID); got != owner {
+		t.Fatalf("owner n%d recovered but the job ran on n%d", owner, got)
+	}
+}
+
+// TestRingLoopGuard pins the single-hop invariant: a request that
+// already crossed a peer hop is answered 502 when it lands on a peer
+// that does not own it — never forwarded again — for both submissions
+// and ID-routed proxying.
+func TestRingLoopGuard(t *testing.T) {
+	fleet := servicetest.StartRing(t, 3, nil)
+
+	// A spec and a peer that does not own it.
+	body := ringSpec(300)
+	owner := fleet.OwnerIndex(specHash(t, body))
+	wrong := fleet.Peers[(owner+1)%3]
+
+	req, err := http.NewRequest(http.MethodPost, wrong.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Scda-Forwarded", "http://mis.configured.peer")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("forwarded submit to a non-owner answered %d, want 502", resp.StatusCode)
+	}
+
+	// An already-forwarded request for a remote peer's ID must not hop on.
+	remoteID := fmt.Sprintf("n%d-j000001", (wrong.Index+1)%3)
+	req, err = http.NewRequest(http.MethodGet, wrong.URL+"/v1/jobs/"+remoteID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Scda-Forwarded", "http://mis.configured.peer")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("forwarded proxy request answered %d, want 502", resp.StatusCode)
+	}
+	if v := metricValue(t, wrong.URL, "scda_ring_loop_rejects_total"); v != 2 {
+		t.Fatalf("loop rejects counted %d, want 2", v)
+	}
+}
+
+// TestRingOwnerCrashMidJobRecovery crashes a peer while it is executing
+// a job it owns and proves the fleet converges: on restart the write-
+// ahead journal resurrects the work (recomputed, or carried whole by the
+// disk cache when the interrupted replicate had already landed there),
+// and the same spec then resolves through the surviving peer to the
+// owner with byte-identical results and no duplicate compute on the
+// survivor.
+func TestRingOwnerCrashMidJobRecovery(t *testing.T) {
+	fleet := servicetest.StartRing(t, 2, nil)
+
+	// A spec owned by peer 1, heavy enough per replicate (~2s without the
+	// race detector) that the 10ms status polls reliably observe it
+	// running before the crash lands.
+	var body string
+	owner := -1
+	for seed := 500; owner != 1; seed++ {
+		body = fmt.Sprintf(`{
+  "version": 1,
+  "name": "ring-crash",
+  "seed": %d,
+  "duration": 1200,
+  "topology": {"kind": "fig6", "x": 5e7, "k": 3},
+  "workload": [{"generator": "dc", "params": {"ArrivalRate": 6}}],
+  "outputs": {"series": ["throughput"]}
+}`, seed)
+		owner = fleet.OwnerIndex(specHash(t, body))
+		if seed > 700 {
+			t.Fatal("no seed owned by peer 1 in 200 tries")
+		}
+	}
+	victim, survivor := fleet.Peers[1], fleet.Peers[0]
+
+	// Submit straight to the owner, async, and wait until it is running.
+	st, code := postJob(t, victim.URL, body, "")
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %+v", code, st)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, code := getBytes(t, victim.URL+"/v1/jobs/"+st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("status poll: %d", code)
+		}
+		var cur service.Status
+		if err := json.Unmarshal(b, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == service.StateRunning {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job settled %s before the crash; spec too cheap for this test", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	victim.Crash()
+	victim.Restart(t)
+	if v := metricValue(t, victim.URL, "scda_jobs_recovered_total"); v != 1 {
+		t.Fatalf("restarted owner recovered %d journaled jobs, want 1", v)
+	}
+
+	// The recovered job reaches done on its own (fresh ID, same spec).
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		b, code := getBytes(t, victim.URL+"/v1/jobs")
+		if code != http.StatusOK {
+			t.Fatalf("job list poll: %d", code)
+		}
+		var sts []service.Status
+		if err := json.Unmarshal(b, &sts); err != nil {
+			t.Fatal(err)
+		}
+		if len(sts) != 1 {
+			t.Fatalf("restarted ledger has %d jobs, want the 1 recovered", len(sts))
+		}
+		if sts[0].State == service.StateDone {
+			break
+		}
+		if sts[0].State.Terminal() {
+			t.Fatalf("recovered job ended %s (%s)", sts[0].State, sts[0].Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered job never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Convergence: the same spec through the surviving peer routes to the
+	// owner and is served from its cache — fleet state as if the crash
+	// never happened, with no compute on the survivor.
+	fleet.ProbeAll(1)
+	st2, code := postJob(t, survivor.URL, body, "?wait=true")
+	if code != http.StatusOK || st2.State != service.StateDone || !st2.CacheHit {
+		t.Fatalf("post-recovery submit: %d %+v, want a cached done on the owner", code, st2)
+	}
+	if got := nodeOf(t, st2.ID); got != victim.Index {
+		t.Fatalf("post-recovery submission ran on n%d, want the recovered owner n%d", got, victim.Index)
+	}
+	a, code := getBytes(t, survivor.URL+"/v1/jobs/"+st2.ID+"/result?csv=summary")
+	if code != http.StatusOK {
+		t.Fatalf("summary via survivor: %d", code)
+	}
+	b, code := getBytes(t, victim.URL+"/v1/jobs/"+st2.ID+"/result?csv=summary")
+	if code != http.StatusOK {
+		t.Fatalf("summary via restarted owner: %d", code)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("peers disagree on the recovered result's bytes")
+	}
+	if misses := metricValue(t, survivor.URL, "scda_cache_misses_total"); misses != 0 {
+		t.Fatalf("survivor computed %d times; the owner's recovery should have carried the work", misses)
+	}
+}
+
+// TestRingGroupFanout pins sweep groups in coordinator mode: the group
+// lives on its entry peer, each variant's computation runs on that
+// variant's owner, the concatenated group CSV is byte-identical to a
+// single node's, and the fleet computes each variant exactly once.
+func TestRingGroupFanout(t *testing.T) {
+	groupBody := `{
+  "version": 1,
+  "name": "ring-sweep",
+  "seed": 3,
+  "duration": 6,
+  "topology": {"kind": "fig6", "x": 5e7, "k": 3},
+  "workload": [{"generator": "dc", "params": {"ArrivalRate": 3}}],
+  "outputs": {"series": ["throughput"]},
+  "sweep": {"parameter": "seed", "values": [41, 42, 43]}
+}`
+	fleet := servicetest.StartRing(t, 3, nil)
+	ref := singleNode(t, service.Config{Workers: 1, JobRunners: 2})
+
+	postGroup := func(base string) (service.GroupStatus, int) {
+		resp, err := http.Post(base+"/v1/groups?wait=true", "application/json", strings.NewReader(groupBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		var st service.GroupStatus
+		if resp.StatusCode < 300 {
+			if err := json.Unmarshal(b, &st); err != nil {
+				t.Fatalf("decoding %s: %v", b, err)
+			}
+		}
+		return st, resp.StatusCode
+	}
+
+	refSt, code := postGroup(ref.URL)
+	if code != http.StatusOK || refSt.State != service.StateDone {
+		t.Fatalf("reference group: %d %+v", code, refSt)
+	}
+	want, code := getBytes(t, ref.URL+"/v1/groups/"+refSt.ID+"/result?csv=summary")
+	if code != http.StatusOK {
+		t.Fatalf("reference group csv: %d", code)
+	}
+
+	st, code := postGroup(fleet.Peers[0].URL)
+	if code != http.StatusOK || st.State != service.StateDone || st.Done != 3 {
+		t.Fatalf("fleet group: %d %+v", code, st)
+	}
+	if got := nodeOf(t, st.ID); got != 0 {
+		t.Fatalf("group minted on n%d, want the entry peer n0", got)
+	}
+	// The group CSV is served byte-identically from every peer.
+	for _, p := range fleet.Peers {
+		got, code := getBytes(t, p.URL+"/v1/groups/"+st.ID+"/result?csv=summary")
+		if code != http.StatusOK {
+			t.Fatalf("group csv via n%d: %d", p.Index, code)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("group csv via n%d differs from single-node bytes", p.Index)
+		}
+	}
+
+	// Each variant computed exactly once fleet-wide, on its owner.
+	var misses int64
+	for _, p := range fleet.Peers {
+		misses += metricValue(t, p.URL, "scda_cache_misses_total")
+	}
+	if misses != int64(st.Variants) {
+		t.Fatalf("fleet computed %d times for %d variants", misses, st.Variants)
+	}
+
+	// A second submission through a different peer is pure cache: every
+	// variant a hit, no new computes anywhere.
+	st2, code := postGroup(fleet.Peers[1].URL)
+	if code != http.StatusOK || st2.State != service.StateDone || st2.CacheHits != st2.Variants {
+		t.Fatalf("resubmitted group: %d %+v, want all variants cached", code, st2)
+	}
+	var after int64
+	for _, p := range fleet.Peers {
+		after += metricValue(t, p.URL, "scda_cache_misses_total")
+	}
+	if after != misses {
+		t.Fatalf("resubmission recomputed: misses %d -> %d", misses, after)
+	}
+}

@@ -30,15 +30,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"path/filepath"
 	"runtime/debug"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/ring"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 )
@@ -115,6 +115,21 @@ type Config struct {
 	// (handler latency, job panics, disk I/O errors, dropped streams)
 	// for robustness testing. Nil — the default — is fully inert.
 	Chaos *chaos.Injector
+
+	// Self is this process's own base URL within a fleet (e.g.
+	// "http://10.0.0.1:8080"); it must appear in Peers. Setting Self or
+	// Peers turns on coordinator mode: submissions route across the
+	// fleet by spec hash. Both empty — the default — is single-node.
+	Self string
+	// Peers is the static fleet: every peer's base URL, Self included.
+	// All peers must be started with the same set (order and trailing
+	// slashes are normalized away).
+	Peers []string
+	// ProbeInterval is the background peer health-probe period in
+	// coordinator mode (0 = 2s; negative disables the background loop,
+	// leaving health to inline reports and explicit ProbePeers calls —
+	// the deterministic mode tests use).
+	ProbeInterval time.Duration
 }
 
 // Service is the resident simulation service. Create with New, expose
@@ -130,6 +145,15 @@ type Service struct {
 	adm     *admission
 	journal *journal        // nil when JournalDir is unset
 	chaos   *chaos.Injector // nil = no fault injection
+
+	// Coordinator mode (all nil/empty single-node): the placement ring,
+	// the peer health prober, the fleet-internal HTTP client, and the
+	// "n<idx>-" prefix stamped on job and group IDs so any peer can
+	// route any ID back to the peer that minted it.
+	ring     *ring.Ring
+	prober   *ring.Prober
+	ringHTTP *http.Client
+	idPrefix string
 
 	draining atomic.Bool // set at Close: journal entries are retained, /readyz is unready
 
@@ -203,6 +227,7 @@ func New(cfg Config) *Service {
 	if cfg.CacheDir != "" {
 		s.disk = newDiskCache(cfg.CacheDir, cfg.CacheMaxEntries, cfg.CacheMaxBytes)
 	}
+	s.setupRing(cfg)
 	var recovered []journalEntry
 	if cfg.JournalDir != "" {
 		// Journal open failure (unwritable directory) degrades to no
@@ -216,7 +241,7 @@ func New(cfg Config) *Service {
 			// submission's journal write and then deleted by the old
 			// entry's cleanup.
 			for _, e := range recovered {
-				if n, err := strconv.Atoi(strings.TrimPrefix(e.ID, "j")); err == nil && n > s.nextID {
+				if n, ok := jobSeq(e.ID); ok && n > s.nextID {
 					s.nextID = n
 				}
 			}
@@ -265,6 +290,9 @@ func (s *Service) recoverJobs(entries []journalEntry) {
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		s.draining.Store(true)
+		if s.prober != nil {
+			s.prober.Stop()
+		}
 		for _, j := range s.queue.Close() {
 			s.cancelJob(j)
 		}
@@ -359,8 +387,8 @@ func (s *Service) submit(spec *scenario.Spec, reps, priority int, deadline time.
 
 	s.mu.Lock()
 	s.nextID++
-	id := fmt.Sprintf("j%06d", s.nextID)
-	j := newJob(id, spec, key, reps, priority, deadline, g)
+	id := fmt.Sprintf("%sj%06d", s.idPrefix, s.nextID)
+	j := newJob(id, spec, key, hash, reps, priority, deadline, g)
 	if g != nil {
 		g.attach(j)
 	}
@@ -579,7 +607,7 @@ func (s *Service) publishGroup(name string, specs []*scenario.Spec, reps, priori
 	}
 	s.mu.Lock()
 	s.nextGroupID++
-	id := fmt.Sprintf("g%06d", s.nextGroupID)
+	id := fmt.Sprintf("%sg%06d", s.idPrefix, s.nextGroupID)
 	g := newJobGroup(id, name, names, reps, priority, &s.met)
 	g.deadline = deadline
 	s.met.groupsActive.Add(1)
@@ -750,9 +778,9 @@ func (s *Service) runJob(j *Job) {
 
 	var art *artifacts
 	var err error
-	computed, diskHit := false, false
+	computed, diskHit, remoteHit := false, false, false
 	for {
-		computed, diskHit = false, false
+		computed, diskHit, remoteHit = false, false, false
 		art, err = s.group.Do(j.Key, func() (a *artifacts, err error) {
 			// A panicking compute must become an error before it unwinds
 			// into Group.Do: an unrecovered panic there would kill the
@@ -773,6 +801,17 @@ func (s *Service) runJob(j *Job) {
 			computed = true
 			if a, ok := s.loadFromDisk(j.Key); ok {
 				diskHit = true
+				return a, nil
+			}
+			// Coordinator mode: a spec owned by another live peer executes
+			// there — the owner's cache and singleflight make the fleet
+			// compute each spec once — and the fetched bytes complete this
+			// job verbatim. Any remote trouble falls through to an ordinary
+			// local run. Remote results are NOT persisted to the local disk
+			// cache: each peer's disk holds only the keys it owns, which is
+			// the point of sharding.
+			if a, ok := s.tryRemoteExecute(ctx, j); ok {
+				remoteHit = true
 				return a, nil
 			}
 			if s.chaos.PanicJob() {
@@ -839,13 +878,18 @@ func (s *Service) runJob(j *Job) {
 	case err == nil:
 		// Includes a deadline that raced result availability: the work is
 		// already paid for, so the result is served rather than discarded.
-		if computed && !diskHit {
+		// A remote fetch counts as neither a local hit nor a local miss:
+		// the owning peer's counters carry the compute, so summing
+		// scda_cache_misses_total across the fleet counts each spec once.
+		switch {
+		case remoteHit:
+		case computed && !diskHit:
 			s.met.cacheMisses.Add(1)
-		} else {
+		default:
 			s.met.cacheHits.Add(1)
 		}
 		s.met.doneOK.Add(1)
-		j.complete(art, !computed || diskHit)
+		j.complete(art, !computed || diskHit || remoteHit)
 	case errors.Is(err, context.DeadlineExceeded):
 		// The job's own deadline (client ?deadline= or MaxJobRuntime) cut
 		// the run off at a replicate boundary.

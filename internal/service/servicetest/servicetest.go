@@ -1,0 +1,179 @@
+// Package servicetest is the in-process multi-node harness behind the
+// coordinator-mode tests: it boots an N-peer scda-serve ring inside one
+// test process — real service.Service instances behind real TCP
+// listeners on loopback, wired together by the same Config.Self/Peers
+// knobs the binary exposes — so ring behavior (placement, forwarding,
+// proxying, fallback, crash recovery) is exercised over actual HTTP
+// with none of the flakiness of spawning processes.
+//
+// Peers get deterministic health: the background prober is disabled
+// (ProbeInterval -1) and tests drive transitions explicitly with
+// Fleet.ProbeAll. Each peer owns a private cache and journal directory
+// under the test's temp dir, so crash/restart cycles (Peer.Crash,
+// Peer.Restart) exercise the journal-recovery path exactly as a
+// process kill would.
+package servicetest
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Peer is one ring member: a live Service behind a real loopback
+// listener.
+type Peer struct {
+	// Index is the peer's ring node index — the position of its URL in
+	// the sorted peer list, i.e. the "n<Index>-" prefix on IDs it mints.
+	Index int
+	// URL is the peer's base URL ("http://127.0.0.1:<port>").
+	URL string
+	// Addr is the bound listen address, pinned across Restart so the
+	// ring's static peer list stays valid.
+	Addr string
+	// Config is the service configuration the peer (re)starts with.
+	Config service.Config
+	// Svc is the running service; replaced by Restart.
+	Svc *service.Service
+
+	srv  *http.Server
+	ln   net.Listener
+	down bool
+}
+
+// Fleet is a started ring of peers. Peers[i].Index == i.
+type Fleet struct {
+	t *testing.T
+	// Peers holds every ring member in node-index order.
+	Peers []*Peer
+}
+
+// StartRing boots an n-peer ring: n loopback listeners are bound first
+// (so every peer knows the full URL set before any service starts),
+// then one Service per listener with Self/Peers wired and per-peer
+// cache and journal directories under t.TempDir(). configure, when
+// non-nil, may adjust each peer's Config before it starts (it must
+// leave Self and Peers alone). The fleet is torn down by t.Cleanup.
+func StartRing(t *testing.T, n int, configure func(i int, cfg *service.Config)) *Fleet {
+	t.Helper()
+	lns := make(map[string]net.Listener, n)
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("servicetest: binding peer listener: %v", err)
+		}
+		u := "http://" + ln.Addr().String()
+		lns[u] = ln
+		urls = append(urls, u)
+	}
+	// Node indices are positions in the sorted URL list (the ring's
+	// order); building Peers in that order makes Peers[i].Index == i.
+	sort.Strings(urls)
+	root := t.TempDir()
+	f := &Fleet{t: t}
+	for i, u := range urls {
+		cfg := service.Config{
+			Self:          u,
+			Peers:         urls,
+			ProbeInterval: -1, // health is test-driven via ProbeAll
+			CacheDir:      filepath.Join(root, fmt.Sprintf("cache-n%d", i)),
+			JournalDir:    filepath.Join(root, fmt.Sprintf("journal-n%d", i)),
+		}
+		if configure != nil {
+			configure(i, &cfg)
+		}
+		p := &Peer{Index: i, URL: u, Addr: lns[u].Addr().String(), Config: cfg, ln: lns[u]}
+		p.start()
+		f.Peers = append(f.Peers, p)
+	}
+	t.Cleanup(f.Stop)
+	return f
+}
+
+// start launches the peer's service and HTTP server on its listener.
+func (p *Peer) start() {
+	p.Svc = service.New(p.Config)
+	p.srv = &http.Server{Handler: p.Svc.Handler()}
+	ln := p.ln
+	srv := p.srv
+	go srv.Serve(ln)
+	p.down = false
+}
+
+// Crash kills the peer: the HTTP server force-closes (in-flight
+// connections are severed, not drained — what peers of a kill -9'd
+// node observe) and the service shuts down with its journal retained,
+// so Restart exercises real crash recovery. Idempotent.
+func (p *Peer) Crash() {
+	if p.down {
+		return
+	}
+	p.down = true
+	p.srv.Close()
+	p.Svc.Close()
+}
+
+// Restart brings a crashed peer back on its original address with its
+// original config — same cache directory, same journal directory — so
+// journaled work is recovered and the ring's static peer list still
+// points at it.
+func (p *Peer) Restart(t *testing.T) {
+	t.Helper()
+	if !p.down {
+		t.Fatal("servicetest: Restart on a peer that was never crashed")
+	}
+	// The old listener died with srv.Close; rebind the pinned address.
+	// A brief retry absorbs the OS releasing the port.
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		ln, err = net.Listen("tcp", p.Addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("servicetest: rebinding %s: %v", p.Addr, err)
+	}
+	p.ln = ln
+	p.start()
+}
+
+// Stop tears the whole fleet down; registered with t.Cleanup by
+// StartRing and safe to call again.
+func (f *Fleet) Stop() {
+	for _, p := range f.Peers {
+		p.Crash()
+	}
+}
+
+// ProbeAll runs rounds synchronous health-probe rounds on every live
+// peer — the deterministic substitute for the background prober. Two
+// rounds eject a dead peer; one round recovers it (see internal/ring's
+// EWMA constants).
+func (f *Fleet) ProbeAll(rounds int) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < rounds; i++ {
+		for _, p := range f.Peers {
+			if !p.down {
+				p.Svc.ProbePeers(ctx)
+			}
+		}
+	}
+}
+
+// OwnerIndex returns the node index owning the given placement key
+// (a canonical spec hash) — which peer a submission routes to.
+func (f *Fleet) OwnerIndex(key string) int {
+	return f.Peers[0].Svc.Ring().OwnerIndex(key)
+}

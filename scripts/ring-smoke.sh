@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# ring-smoke.sh — end-to-end smoke test of scda-serve coordinator mode
+# with real processes (the in-process counterpart lives in
+# internal/service/ring_e2e_test.go; this script is the one that covers
+# kill -9 across OS process boundaries).
+#
+# Starts a 3-peer ring, then proves the fleet behaves as one service:
+# submit paper-fig6 through peer 1 (the edge forwards it to its owner by
+# spec hash), poll it through peer 2 and fetch every result CSV through
+# peer 3 (ID-routed proxying), and byte-diff the CSVs against
+# scda-sim -scenario output. Re-submitting through peer 3 must be a cache
+# hit — one compute fleet-wide, wherever requests enter. Then the failure
+# leg: kill -9 peer 2 and submit the power-save sweep group through
+# peer 1; the group must complete honestly (variants owned by the dead
+# peer degrade to local execution) and its aggregate CSVs must still
+# byte-match scda-bench -scenario-dir files, with the dead peer reported
+# down in peer 1's metrics. CI runs this as the ring-smoke job; it needs
+# only curl, grep, sed and diff beyond the go toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr1=127.0.0.1:18091
+addr2=127.0.0.1:18092
+addr3=127.0.0.1:18093
+base1="http://$addr1"
+base2="http://$addr2"
+base3="http://$addr3"
+peers="$base1,$base2,$base3"
+
+tmp="$(mktemp -d)"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$tmp/scda-serve" ./cmd/scda-serve
+go build -o "$tmp/scda-sim" ./cmd/scda-sim
+go build -o "$tmp/scda-bench" ./cmd/scda-bench
+
+spec=scenarios/paper-fig6.json
+name=paper-fig6
+echo "== reference run: scda-sim -scenario $spec"
+"$tmp/scda-sim" -scenario "$spec" -out "$tmp/cli" >/dev/null
+
+echo "== starting a 3-peer ring on $peers"
+i=0
+for base in "$base1" "$base2" "$base3"; do
+    i=$((i + 1))
+    "$tmp/scda-serve" -addr "${base#http://}" -self "$base" -peers "$peers" \
+        -probe-interval 300ms -jobs 1 \
+        -cache-dir "$tmp/cache$i" -journal-dir "$tmp/journal$i" \
+        >"$tmp/peer$i.log" 2>&1 &
+    pids="$pids $!"
+done
+for base in "$base1" "$base2" "$base3"; do
+    for _ in $(seq 50); do
+        curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+        sleep 0.2
+    done
+    curl -fsS "$base/healthz" >/dev/null
+done
+
+echo "== submitting $spec through peer 1"
+resp="$(curl -fsS -X POST --data-binary @"$spec" "$base1/v1/jobs")"
+id="$(printf '%s' "$resp" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$id" ] || { echo "no job id in response: $resp"; exit 1; }
+echo "   job $id"
+
+echo "== polling through peer 2"
+state=""
+for _ in $(seq 240); do
+    state="$(curl -fsS "$base2/v1/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "job ended $state"; curl -fsS "$base2/v1/jobs/$id"; exit 1 ;;
+    esac
+    sleep 0.5
+done
+[ "$state" = done ] || { echo "job still '$state' after timeout"; exit 1; }
+
+echo "== fetching CSVs through peer 3, diffing against CLI files"
+for kind in summary throughput fct-cdf afct; do
+    curl -fsS "$base3/v1/jobs/$id/result?csv=$kind" > "$tmp/srv-$kind.csv"
+    diff "$tmp/cli/$name-$kind.csv" "$tmp/srv-$kind.csv" \
+        || { echo "MISMATCH: $kind differs between ring and CLI"; exit 1; }
+done
+
+echo "== re-submitting through peer 3: must be a fleet-wide cache hit"
+resp2="$(curl -fsS -X POST --data-binary @"$spec" "$base3/v1/jobs?wait=true")"
+printf '%s' "$resp2" | grep -q '"cacheHit": *true' \
+    || { echo "second submission was not a cache hit: $resp2"; exit 1; }
+
+echo "== checking ring metrics on peer 1"
+met="$(curl -fsS "$base1/metrics")"
+printf '%s\n' "$met" | grep -q '^scda_ring_peers 3' \
+    || { echo "peer 1 does not report a 3-peer ring"; exit 1; }
+printf '%s\n' "$met" | grep -c '^scda_ring_peer_up{.*} 1' | grep -q '^3$' \
+    || { echo "peer 1 does not see all 3 peers up:"; printf '%s\n' "$met" | grep scda_ring; exit 1; }
+
+sweep=scenarios/power-save.json
+echo "== reference sweep run: scda-bench -scenario-dir ($sweep)"
+mkdir "$tmp/sweep-spec"
+cp "$sweep" "$tmp/sweep-spec/"
+"$tmp/scda-bench" -scenario-dir "$tmp/sweep-spec" -out "$tmp/bench" >/dev/null
+# Expansion order == sweep value order (rscale 0, 1e7, 3e7).
+variants="power-save-system-rscale-0 power-save-system-rscale-1e07 power-save-system-rscale-3e07"
+
+echo "== kill -9 peer 2"
+set -- $pids
+kill -9 "$2"
+sleep 1.5 # two 300ms probe rounds fold the EWMA below the up threshold
+
+echo "== submitting $sweep as a job group through peer 1 (degraded ring)"
+gresp="$(curl -fsS -X POST --data-binary @"$sweep" "$base1/v1/groups")"
+gid="$(printf '%s' "$gresp" | grep -m1 '"id"' | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$gid" ] || { echo "no group id in response: $gresp"; exit 1; }
+echo "   group $gid"
+
+echo "== polling group to completion"
+gstate=""
+for _ in $(seq 240); do
+    gstate="$(curl -fsS "$base1/v1/groups/$gid" | grep -m1 '"state"' | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+    case "$gstate" in
+        done) break ;;
+        failed|cancelled) echo "group ended $gstate"; curl -fsS "$base1/v1/groups/$gid"; exit 1 ;;
+    esac
+    sleep 0.5
+done
+[ "$gstate" = done ] || { echo "group still '$gstate' after timeout"; exit 1; }
+
+echo "== diffing group aggregate CSVs against scda-bench files"
+for kind in summary throughput fct-cdf; do
+    : > "$tmp/bench-$kind.csv"
+    for v in $variants; do
+        cat "$tmp/bench/$v-$kind.csv" >> "$tmp/bench-$kind.csv"
+    done
+    curl -fsS "$base1/v1/groups/$gid/result?csv=$kind" > "$tmp/grp-$kind.csv"
+    diff "$tmp/bench-$kind.csv" "$tmp/grp-$kind.csv" \
+        || { echo "MISMATCH: degraded group $kind differs from scda-bench"; exit 1; }
+done
+
+echo "== checking peer 1 sees peer 2 down"
+curl -fsS "$base1/metrics" | grep -q "^scda_ring_peer_up{peer=\"$base2\"} 0" \
+    || { echo "peer 1 still reports the killed peer up"; curl -fsS "$base1/metrics" | grep scda_ring; exit 1; }
+
+echo "ring smoke OK"
