@@ -9,6 +9,7 @@
 //	           [-workers 0] [-reps 1]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	scda-bench -scenario-dir scenarios [-reps 5] [-workers 0] [-out results]
+//	scda-bench -search scenarios/power-save-search.json [-reps 1] [-workers 0] [-out results]
 //
 // With -scenario-dir the bench runs every declarative scenario spec
 // (*.json) in the directory instead of the paper figures: sweeps expand to
@@ -18,6 +19,14 @@
 // Specs selecting "engine": "fluid" run on the max-min fluid backend and
 // mix freely with packet specs in one directory — same CSV schema either
 // way.
+//
+// With -search the bench runs one adaptive search offline: the named
+// spec's "search" block (see scenarios/README.md) compiles to an
+// optimization problem and the internal/search engine evaluates variants
+// on the local worker pool — no service required. The round-by-round
+// trajectory prints as it happens, and the deterministic result document
+// and trajectory CSV land under -out, byte-identical to what scda-serve's
+// /v1/searches/{id}/result endpoints serve for the same spec.
 //
 // At -scale paper the suite reproduces the published parameters
 // (X=500/200 Mb/s, 100 s horizons) and takes correspondingly longer;
@@ -39,9 +48,12 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -52,6 +64,7 @@ import (
 	"repro/internal/export"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/search"
 )
 
 // memProfilePath is set from -memprofile so flushProfiles can write the
@@ -122,6 +135,58 @@ func runScenarios(dir, out string, reps int, pool *runner.Pool) {
 		len(results), elapsed.Seconds(), pool.Workers())
 }
 
+// runSearch is the -search mode: compile the spec's search block and run
+// the adaptive engine offline on the local pool, printing rounds as they
+// complete and writing the deterministic result document and trajectory
+// CSV under out.
+func runSearch(path, out string, reps int, pool *runner.Pool) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	p, err := search.Compile(spec, reps, 0)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("SCDA adaptive search — %s: %s %s of %s over %s, workers=%d reps=%d\n\n",
+		spec.Name, p.Strategy, p.Objective, p.Metric, p.Parameter, pool.Workers(), p.BaseReps)
+	start := time.Now()
+	res, err := search.Run(context.Background(), p, &search.Local{Pool: pool}, func(r search.Round) {
+		line := fmt.Sprintf("round %d  reps=%d evaluated=%d pruned=%d", r.Round, r.Reps, r.Evaluations, r.Pruned)
+		if r.Incumbent != nil {
+			line += fmt.Sprintf("  incumbent %s=%v %s=%v", p.Parameter, r.Incumbent.Value, p.Metric, r.Incumbent.Objective)
+		}
+		fmt.Println(line)
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	elapsed := time.Since(start)
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fail("%v", err)
+	}
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	jsonPath := filepath.Join(out, spec.Name+"-search.json")
+	csvPath := filepath.Join(out, spec.Name+"-trajectory.csv")
+	if err := os.WriteFile(jsonPath, append(doc, '\n'), 0o644); err != nil {
+		fail("%v", err)
+	}
+	if err := os.WriteFile(csvPath, res.TrajectoryCSV(), 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("\nsearch completed in %.2fs wall-clock: %d rounds, %d evaluations, converged=%v\n",
+		elapsed.Seconds(), len(res.Rounds), res.Evaluations, res.Converged)
+	if res.Incumbent != nil {
+		fmt.Printf("incumbent %s = %v  (%s %s = %v)\n", p.Parameter, res.Incumbent.Value, p.Objective, p.Metric, res.Incumbent.Objective)
+	} else {
+		fmt.Println("no feasible incumbent: every evaluated variant violated a constraint")
+	}
+	fmt.Printf("    -> %s\n    -> %s\n", jsonPath, csvPath)
+}
+
 func main() {
 	scale := flag.String("scale", "quick", "quick or paper")
 	figures := flag.String("figures", "all", "comma-separated figure IDs (fig07..fig18) or all")
@@ -135,6 +200,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	scenarioDir := flag.String("scenario-dir", "", "run every scenario spec in this directory instead of the paper figures")
+	searchSpec := flag.String("search", "", "run this spec's adaptive search offline instead of the paper figures")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -149,17 +215,28 @@ func main() {
 	memProfilePath = *memprofile
 	defer flushProfiles()
 
-	if *scenarioDir != "" {
+	if *scenarioDir != "" || *searchSpec != "" {
+		if *scenarioDir != "" && *searchSpec != "" {
+			fail("-scenario-dir and -search are mutually exclusive")
+		}
+		mode := "-scenario-dir"
+		if *searchSpec != "" {
+			mode = "-search"
+		}
 		// scenario specs carry their own seed/duration/scale; rejecting
 		// the figure-mode flags beats silently ignoring them
 		inert := map[string]bool{"scale": true, "figures": true, "ablations": true,
 			"sweeps": true, "seed": true, "duration": true}
 		flag.Visit(func(f *flag.Flag) {
 			if inert[f.Name] {
-				fail("-%s has no effect with -scenario-dir: edit the spec files instead", f.Name)
+				fail("-%s has no effect with %s: edit the spec files instead", f.Name, mode)
 			}
 		})
-		runScenarios(*scenarioDir, *out, *reps, runner.New(*workers))
+		if *searchSpec != "" {
+			runSearch(*searchSpec, *out, *reps, runner.New(*workers))
+		} else {
+			runScenarios(*scenarioDir, *out, *reps, runner.New(*workers))
+		}
 		return
 	}
 

@@ -6,7 +6,7 @@
 //
 //	scda-serve [-addr :8080] [-workers 0] [-jobs 2] [-cache-dir DIR]
 //	           [-default-reps 1] [-max-reps 64]
-//	           [-job-history 4096] [-group-history 4096]
+//	           [-job-history 4096] [-group-history 4096] [-search-history 256]
 //	           [-cache-entries 1024] [-cache-max-entries 4096]
 //	           [-cache-max-bytes 1073741824] [-max-group-variants 256]
 //	           [-slo 0] [-max-job-runtime 0] [-journal-dir DIR]
@@ -22,6 +22,13 @@
 //	curl -X POST --data-binary @scenarios/power-save.json localhost:8080/v1/groups
 //	curl localhost:8080/v1/groups/g000001/events
 //	curl localhost:8080/v1/groups/g000001/result?csv=summary
+//
+//	# run an adaptive search (a spec with a "search" block) and fetch the
+//	# incumbent and round-by-round trajectory
+//	curl -X POST --data-binary @scenarios/power-save-search.json "localhost:8080/v1/searches?wait=true"
+//	curl localhost:8080/v1/searches/s000001/events
+//	curl localhost:8080/v1/searches/s000001/result
+//	curl "localhost:8080/v1/searches/s000001/result?csv=trajectory"
 //
 // Results are cached by canonical spec hash × replicate count (see
 // `scda-sim -hash`): identical submissions are served without
@@ -52,6 +59,15 @@
 // /readyz health prober (period -probe-interval) degrades to local
 // execution when an owner is down — results are byte-identical wherever
 // they run. See the Fleet section of ARCHITECTURE.md.
+//
+// Adaptive searches: a spec whose "search" block names a goal metric, one
+// sweepable parameter and a strategy POSTs to /v1/searches; the service
+// runs the internal/search engine, submitting each round as an ordinary
+// job group, so evaluations ride the cache, the singleflight and (in
+// coordinator mode) the ring untouched. An identical resubmitted search
+// is a pure cache replay: byte-identical trajectory, zero simulation
+// work. -search-history bounds the terminal searches kept in the ledger.
+// See the Search layer section of ARCHITECTURE.md.
 package main
 
 import (
@@ -87,6 +103,7 @@ func main() {
 	maxReps := flag.Int("max-reps", 64, "upper bound on per-job replicates")
 	jobHistory := flag.Int("job-history", 0, "terminal jobs kept in the ledger (0 = 4096)")
 	groupHistory := flag.Int("group-history", 0, "total variants kept across terminal job groups (0 = 4096)")
+	searchHistory := flag.Int("search-history", 0, "terminal adaptive searches kept in the ledger (0 = 256)")
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = 1024)")
 	cacheMaxEntries := flag.Int("cache-max-entries", 0, "disk cache entry bound, oldest-first eviction (0 = 4096, negative = unbounded)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "disk cache byte bound, oldest-first eviction (0 = 1 GiB, negative = unbounded)")
@@ -127,6 +144,7 @@ func main() {
 		MaxReps:           *maxReps,
 		JobHistory:        *jobHistory,
 		GroupHistory:      *groupHistory,
+		SearchHistory:     *searchHistory,
 		CacheEntries:      *cacheEntries,
 		CacheMaxEntries:   *cacheMaxEntries,
 		CacheMaxBytes:     *cacheMaxBytes,

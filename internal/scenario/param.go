@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SetParameter returns a copy of s with the named sweepable parameter set
+// to value, the programmatic variant-synthesis primitive shared by sweep
+// expansion (Expand) and the search engine (internal/search). The copy
+// carries no sweep or search block — it is a single concrete experiment —
+// and keeps the base spec's name; callers that need distinct output
+// prefixes rename it (Expand's positional suffix, SearchVariantName's
+// hashed one). Parameters and their value constraints are exactly the
+// sweepable set: "system.rscale", "system.nns" (positive integer),
+// "topology.k", "topology.x", "duration" (positive) and "seed" (unsigned
+// integer). The copy is not re-validated here — a set value can break
+// invariants the base satisfies (a duration shorter than a phase start) —
+// so callers validate the variant before running it.
+func SetParameter(s *Spec, param string, value float64) (*Spec, error) {
+	variant := *s
+	variant.Sweep = nil
+	variant.Search = nil
+	switch param {
+	case "system.rscale":
+		variant.System.Rscale = value
+	case "system.nns":
+		n := int(value)
+		if float64(n) != value || n <= 0 {
+			return nil, fmt.Errorf("scenario %s: parameter system.nns value %v not a positive integer", s.Name, value)
+		}
+		variant.System.NNS = n
+	case "topology.k":
+		variant.Topology.K = value
+	case "topology.x":
+		variant.Topology.X = value
+	case "duration":
+		if value <= 0 {
+			return nil, fmt.Errorf("scenario %s: parameter duration value %v not positive", s.Name, value)
+		}
+		variant.Duration = value
+	case "seed":
+		u := uint64(value)
+		if float64(u) != value {
+			return nil, fmt.Errorf("scenario %s: parameter seed value %v not an unsigned integer", s.Name, value)
+		}
+		variant.Seed = u
+	default:
+		return nil, fmt.Errorf("scenario %s: unsweepable parameter %q", s.Name, param)
+	}
+	return &variant, nil
+}
+
+// SearchVariantName names a search-synthesized variant of base with param
+// set to value: "<base>-<param with . as ->-<value>-<hash>". The trailing
+// hash is the first five hex digits of the SHA-256 of the value's exact
+// IEEE-754 bits, which makes the name collision-proof where the sweep
+// naming scheme is only collision-detected: formatSweepValue maps both
+// "." and "-" into letters ("1.5" → "1p5"), so a base scenario literally
+// named with such a suffix — or any two inputs whose formatted values
+// coincide — would otherwise share a name. Distinct float64 values always
+// hash apart, and the textual value stays in front for readability.
+func SearchVariantName(base, param string, value float64) string {
+	var bits [8]byte
+	binary.BigEndian.PutUint64(bits[:], math.Float64bits(value))
+	sum := sha256.Sum256(bits[:])
+	return fmt.Sprintf("%s-%s-%s-%s", base, strings.ReplaceAll(param, ".", "-"),
+		formatSweepValue(value), fmt.Sprintf("%x", sum[:3])[:5])
+}

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSetParameter drives the shared variant-synthesis primitive over
+// every sweepable parameter and every invalid-value error path, and pins
+// that the copy drops sweep/search blocks without mutating the base.
+func TestSetParameter(t *testing.T) {
+	base := loadMini(t)
+	base.Sweep = &SweepSpec{Parameter: "topology.k", Values: []float64{2, 3}}
+	cases := []struct {
+		param   string
+		value   float64
+		check   func(v *Spec) bool
+		wantErr string
+	}{
+		{param: "system.rscale", value: 1e7, check: func(v *Spec) bool { return v.System.Rscale == 1e7 }},
+		{param: "system.nns", value: 4, check: func(v *Spec) bool { return v.System.NNS == 4 }},
+		{param: "system.nns", value: 1.5, wantErr: "not a positive integer"},
+		{param: "system.nns", value: 0, wantErr: "not a positive integer"},
+		{param: "system.nns", value: -2, wantErr: "not a positive integer"},
+		{param: "topology.k", value: 3.5, check: func(v *Spec) bool { return v.Topology.K == 3.5 }},
+		{param: "topology.x", value: 2.5e7, check: func(v *Spec) bool { return v.Topology.X == 2.5e7 }},
+		{param: "duration", value: 4, check: func(v *Spec) bool { return v.Duration == 4 }},
+		{param: "duration", value: 0, wantErr: "not positive"},
+		{param: "duration", value: -1, wantErr: "not positive"},
+		{param: "seed", value: 42, check: func(v *Spec) bool { return v.Seed == 42 }},
+		{param: "seed", value: 1.5, wantErr: "not an unsigned integer"},
+		{param: "seed", value: -1, wantErr: "not an unsigned integer"},
+		{param: "system.blocksize", value: 1, wantErr: "unsweepable"},
+	}
+	for _, tc := range cases {
+		v, err := SetParameter(base, tc.param, tc.value)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("SetParameter(%s, %v) error %v, want %q", tc.param, tc.value, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("SetParameter(%s, %v): %v", tc.param, tc.value, err)
+			continue
+		}
+		if !tc.check(v) {
+			t.Errorf("SetParameter(%s, %v) did not apply", tc.param, tc.value)
+		}
+		if v.Sweep != nil || v.Search != nil {
+			t.Errorf("SetParameter(%s, %v) kept the sweep/search block", tc.param, tc.value)
+		}
+		if v == base {
+			t.Errorf("SetParameter(%s, %v) returned the base, not a copy", tc.param, tc.value)
+		}
+	}
+	if base.Sweep == nil || base.Topology.K != 2 || base.Duration != 5 {
+		t.Error("SetParameter mutated the base spec")
+	}
+}
+
+// TestExpandUsesSetParameter pins that sweep expansion still goes through
+// the factored-out primitive with unchanged variant semantics: values are
+// applied, names keep the positional scheme, and variants re-validate.
+func TestExpandUsesSetParameter(t *testing.T) {
+	s := loadMini(t)
+	s.Sweep = &SweepSpec{Parameter: "system.nns", Values: []float64{1, 3}}
+	vs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0].System.NNS != 1 || vs[1].System.NNS != 3 {
+		t.Fatalf("expanded %+v", vs)
+	}
+	if vs[0].Name != "mini-system-nns-1" || vs[1].Name != "mini-system-nns-3" {
+		t.Fatalf("variant names %q, %q", vs[0].Name, vs[1].Name)
+	}
+}
+
+// TestSearchVariantNameCollisionProof is the regression test for the
+// latent formatSweepValue collision: "." and "-" both render as letters,
+// so a scenario literally named like a formatted variant ("x-topology-k-
+// 1p5" vs base "x" value 1.5) collides under the positional sweep scheme.
+// Search-synthesized names append a hash of the value's exact float bits,
+// which keeps every distinct value's name distinct and distinguishes a
+// synthesized name from any literal base name.
+func TestSearchVariantNameCollisionProof(t *testing.T) {
+	// The documented collision surface: a literal name equal to the old
+	// positional scheme's output.
+	positional := "x-topology-k-" + formatSweepValue(1.5)
+	if positional != "x-topology-k-1p5" {
+		t.Fatalf("formatSweepValue(1.5) changed: %q", positional)
+	}
+	hashed := SearchVariantName("x", "topology.k", 1.5)
+	if hashed == positional {
+		t.Fatal("search variant name equals the collision-prone positional name")
+	}
+	if !strings.HasPrefix(hashed, positional+"-") {
+		t.Fatalf("search name %q does not extend the readable positional form", hashed)
+	}
+	if err := validName(hashed); err != nil {
+		t.Fatalf("search name %q: %v", hashed, err)
+	}
+	// Deterministic, and injective across values — including pairs that
+	// differ only in their last float bit.
+	if hashed != SearchVariantName("x", "topology.k", 1.5) {
+		t.Fatal("search variant name not deterministic")
+	}
+	values := []float64{1.5, 1.5000000000000002, -1.5, 15, 0.15, 1e7, -1e-7}
+	seen := map[string]float64{}
+	for _, v := range values {
+		name := SearchVariantName("x", "topology.k", v)
+		if prev, dup := seen[name]; dup {
+			t.Errorf("values %v and %v share the name %q", prev, v, name)
+		}
+		seen[name] = v
+	}
+}
+
+// TestSearchSpecValidation drives the search-block validator with
+// targeted mutations, mirroring TestValidationErrors for sweeps.
+func TestSearchSpecValidation(t *testing.T) {
+	base, err := os.ReadFile("testdata/mini.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]any{
+		"metric": "mean_fct_s", "parameter": "topology.k", "lo": 1.0, "hi": 4.0,
+	}
+	cases := []struct {
+		name    string
+		mutate  func(search map[string]any)
+		wantSub string
+	}{
+		{"valid", nil, ""},
+		{"bad objective", func(m map[string]any) { m["objective"] = "optimize" }, "objective"},
+		{"no metric", func(m map[string]any) { delete(m, "metric") }, "no metric"},
+		{"bad constraint op", func(m map[string]any) {
+			m["constraints"] = []any{map[string]any{"metric": "energy_kj", "op": "<", "value": 1.0}}
+		}, "op"},
+		{"constraint without metric", func(m map[string]any) {
+			m["constraints"] = []any{map[string]any{"op": "<=", "value": 1.0}}
+		}, "no metric"},
+		{"unsearchable parameter", func(m map[string]any) { m["parameter"] = "system.blocksize" }, "unsweepable"},
+		{"empty domain", func(m map[string]any) { delete(m, "lo"); delete(m, "hi") }, "domain empty"},
+		{"inverted range", func(m map[string]any) { m["lo"] = 4.0; m["hi"] = 1.0 }, "domain empty"},
+		{"both domains", func(m map[string]any) { m["values"] = []any{1.0, 2.0} }, "both"},
+		{"bad strategy", func(m map[string]any) { m["strategy"] = "bayesian" }, "unknown search strategy"},
+		{"one point", func(m map[string]any) { m["points"] = 1.0 }, "points"},
+		{"negative tolerance", func(m map[string]any) { m["tolerance"] = -1.0 }, "tolerance"},
+		{"negative budget", func(m map[string]any) { m["maxRounds"] = -1.0 }, "negative search budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m map[string]any
+			if err := json.Unmarshal(base, &m); err != nil {
+				t.Fatal(err)
+			}
+			search := map[string]any{}
+			for k, v := range valid {
+				search[k] = v
+			}
+			if tc.mutate != nil {
+				tc.mutate(search)
+			}
+			m["search"] = search
+			raw, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = Parse(bytes.NewReader(raw))
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("valid search spec rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("mutation %q validated", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	// sweep + search on one spec is rejected
+	var m map[string]any
+	if err := json.Unmarshal(base, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["search"] = valid
+	m["sweep"] = map[string]any{"parameter": "topology.k", "values": []any{2.0}}
+	raw, _ := json.Marshal(m)
+	if _, err := Parse(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("sweep+search spec: %v", err)
+	}
+}

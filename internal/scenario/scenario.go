@@ -77,6 +77,11 @@ type Spec struct {
 	Outputs OutputSpec  `json:"outputs,omitempty"`
 	// Sweep, when present, expands this spec into one variant per value.
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Search, when present, turns the spec into an optimization problem
+	// over one sweepable parameter (see SearchSpec); such specs are
+	// submitted to the service's /v1/searches endpoint or run with
+	// `scda-bench -search`.
+	Search *SearchSpec `json:"search,omitempty"`
 }
 
 // TopologySpec names the network under the cluster. Kind "fig6" is the
@@ -377,6 +382,9 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario %s: negative output parameters", s.Name)
 	}
 	if s.Sweep != nil {
+		if s.Search != nil {
+			return fmt.Errorf("scenario %s: sweep and search blocks are mutually exclusive", s.Name)
+		}
 		if !sweepParams[s.Sweep.Parameter] {
 			return fmt.Errorf("scenario %s: unsweepable parameter %q", s.Name, s.Sweep.Parameter)
 		}
@@ -384,6 +392,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: sweep has no values", s.Name)
 		}
 		if _, err := s.Expand(); err != nil {
+			return err
+		}
+	}
+	if s.Search != nil {
+		if err := s.Search.validate(s); err != nil {
 			return err
 		}
 	}
@@ -415,37 +428,12 @@ func (s *Spec) Expand() ([]*Spec, error) {
 	seen := make(map[string]bool, len(s.Sweep.Values))
 	out := make([]*Spec, 0, len(s.Sweep.Values))
 	for _, v := range s.Sweep.Values {
-		variant := *s
-		variant.Sweep = nil
+		variant, err := SetParameter(s, s.Sweep.Parameter, v)
+		if err != nil {
+			return nil, err
+		}
 		suffix := strings.ReplaceAll(s.Sweep.Parameter, ".", "-")
 		variant.Name = fmt.Sprintf("%s-%s-%s", s.Name, suffix, formatSweepValue(v))
-		switch s.Sweep.Parameter {
-		case "system.rscale":
-			variant.System.Rscale = v
-		case "system.nns":
-			n := int(v)
-			if float64(n) != v || n <= 0 {
-				return nil, fmt.Errorf("scenario %s: sweep system.nns value %v not a positive integer", s.Name, v)
-			}
-			variant.System.NNS = n
-		case "topology.k":
-			variant.Topology.K = v
-		case "topology.x":
-			variant.Topology.X = v
-		case "duration":
-			variant.Duration = v
-			if variant.Duration <= 0 {
-				return nil, fmt.Errorf("scenario %s: sweep duration value %v", s.Name, v)
-			}
-		case "seed":
-			u := uint64(v)
-			if float64(u) != v {
-				return nil, fmt.Errorf("scenario %s: sweep seed value %v not an unsigned integer", s.Name, v)
-			}
-			variant.Seed = u
-		default:
-			return nil, fmt.Errorf("scenario %s: unsweepable parameter %q", s.Name, s.Sweep.Parameter)
-		}
 		if seen[variant.Name] {
 			return nil, fmt.Errorf("scenario %s: sweep value %v repeats (variant %s)", s.Name, v, variant.Name)
 		}
@@ -454,7 +442,7 @@ func (s *Spec) Expand() ([]*Spec, error) {
 		if err := variant.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario %s: sweep value %v: %w", s.Name, v, err)
 		}
-		out = append(out, &variant)
+		out = append(out, variant)
 	}
 	return out, nil
 }

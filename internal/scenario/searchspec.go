@@ -1,0 +1,151 @@
+package scenario
+
+import "fmt"
+
+// Search objectives.
+const (
+	// Minimize seeks the smallest value of the goal metric (the default).
+	Minimize = "minimize"
+	// Maximize seeks the largest value of the goal metric.
+	Maximize = "maximize"
+)
+
+// Search strategies.
+const (
+	// StrategyGridRefine evaluates an evenly spaced grid over the domain
+	// and recursively re-grids the bracket around the incumbent (the
+	// default). On a discrete domain it evaluates every value in one
+	// round.
+	StrategyGridRefine = "grid-refine"
+	// StrategyHalving is successive halving: evaluate every candidate at
+	// a low replicate count, keep the better half, double the replicates,
+	// repeat until one survivor remains.
+	StrategyHalving = "halving"
+	// StrategyRandom draws seeded uniform samples from the domain each
+	// round — the baseline any adaptive strategy has to beat.
+	StrategyRandom = "random"
+)
+
+// Constraint operators.
+const (
+	// OpLE accepts variants whose constraint metric is <= the bound.
+	OpLE = "<="
+	// OpGE accepts variants whose constraint metric is >= the bound.
+	OpGE = ">="
+)
+
+// SearchSpec turns a spec into an optimization problem: find the value of
+// one sweepable parameter that minimizes (or maximizes) a summary metric,
+// optionally subject to constraints on other summary metrics. The spec
+// around the block is the base experiment; the engine (internal/search)
+// synthesizes concrete variants from it with SetParameter. Everything is
+// seeded and deterministic: the same search spec always evaluates the
+// same variants in the same order and converges to the same incumbent.
+type SearchSpec struct {
+	// Objective is "minimize" (default) or "maximize".
+	Objective string `json:"objective,omitempty"`
+	// Metric names the summary metric being optimized — a key of the
+	// result document's summary map (e.g. "mean_fct_s", "p99_fct_s",
+	// "energy_kj") or one of the aliases "afct", "p50_fct", "p90_fct",
+	// "p99_fct", "energy".
+	Metric string `json:"metric"`
+	// Constraints restrict which variants are feasible; the incumbent is
+	// the best feasible variant evaluated so far.
+	Constraints []ConstraintSpec `json:"constraints,omitempty"`
+
+	// Parameter is the sweepable parameter being searched (the
+	// SweepSpec.Parameter set).
+	Parameter string `json:"parameter"`
+	// Lo and Hi bound a continuous domain [lo, hi]; integer-valued
+	// parameters (system.nns, seed) round proposals to integers.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Values is a discrete domain, mutually exclusive with Lo/Hi.
+	Values []float64 `json:"values,omitempty"`
+
+	// Strategy selects the optimizer: "grid-refine" (default), "halving"
+	// or "random".
+	Strategy string `json:"strategy,omitempty"`
+	// Points is the grid width (grid-refine), initial candidate-pool size
+	// (halving over a continuous domain) or samples per round (random).
+	// 0 picks the strategy default (5, 8 and 4 respectively).
+	Points int `json:"points,omitempty"`
+	// Tolerance stops grid-refine once the bracket width is at or below
+	// it (0 = refine until a budget runs out).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Seed drives the random strategy's sampling; 0 derives it from the
+	// base spec's seed so the search stays deterministic either way.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// MaxRounds bounds the round count (0 = 8).
+	MaxRounds int `json:"maxRounds,omitempty"`
+	// MaxVariants bounds the total fresh variant evaluations across all
+	// rounds (0 = 64).
+	MaxVariants int `json:"maxVariants,omitempty"`
+	// MaxSeconds bounds the search's wall time (0 = unlimited). The cut
+	// is a safety valve outside the decision path: a search that hits it
+	// fails rather than producing a time-dependent trajectory.
+	MaxSeconds float64 `json:"maxSeconds,omitempty"`
+}
+
+// ConstraintSpec is one feasibility predicate on a summary metric.
+type ConstraintSpec struct {
+	// Metric names the constrained summary metric (same keys and aliases
+	// as SearchSpec.Metric).
+	Metric string `json:"metric"`
+	// Op is "<=" or ">=".
+	Op string `json:"op"`
+	// Value is the bound the metric is compared against.
+	Value float64 `json:"value"`
+}
+
+// validate checks the search block's structure against the owning spec.
+// Metric names are checked for presence only — the summary key set
+// depends on the run (replication adds _ci95 companions), so a missing
+// metric surfaces when the first round's results are read.
+func (ss *SearchSpec) validate(s *Spec) error {
+	switch ss.Objective {
+	case "", Minimize, Maximize:
+	default:
+		return fmt.Errorf("scenario %s: search objective %q (want %q or %q)", s.Name, ss.Objective, Minimize, Maximize)
+	}
+	if ss.Metric == "" {
+		return fmt.Errorf("scenario %s: search has no metric", s.Name)
+	}
+	for i, c := range ss.Constraints {
+		if c.Metric == "" {
+			return fmt.Errorf("scenario %s: search constraint %d has no metric", s.Name, i)
+		}
+		if c.Op != OpLE && c.Op != OpGE {
+			return fmt.Errorf("scenario %s: search constraint %d op %q (want %q or %q)", s.Name, i, c.Op, OpLE, OpGE)
+		}
+	}
+	if !sweepParams[ss.Parameter] {
+		return fmt.Errorf("scenario %s: unsweepable parameter %q", s.Name, ss.Parameter)
+	}
+	switch {
+	case len(ss.Values) > 0:
+		if ss.Lo != 0 || ss.Hi != 0 {
+			return fmt.Errorf("scenario %s: search has both a discrete value set and a continuous [lo, hi] range", s.Name)
+		}
+	case ss.Lo < ss.Hi:
+	default:
+		return fmt.Errorf("scenario %s: search domain empty: lo %v, hi %v and no values", s.Name, ss.Lo, ss.Hi)
+	}
+	switch ss.Strategy {
+	case "", StrategyGridRefine, StrategyHalving, StrategyRandom:
+	default:
+		return fmt.Errorf("scenario %s: unknown search strategy %q (want %q, %q or %q)",
+			s.Name, ss.Strategy, StrategyGridRefine, StrategyHalving, StrategyRandom)
+	}
+	if ss.Points < 0 || ss.Points == 1 {
+		return fmt.Errorf("scenario %s: search points %d (want 0 for the default, or at least 2)", s.Name, ss.Points)
+	}
+	if ss.Tolerance < 0 {
+		return fmt.Errorf("scenario %s: search tolerance %v negative", s.Name, ss.Tolerance)
+	}
+	if ss.MaxRounds < 0 || ss.MaxVariants < 0 || ss.MaxSeconds < 0 {
+		return fmt.Errorf("scenario %s: negative search budget", s.Name)
+	}
+	return nil
+}

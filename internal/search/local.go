@@ -1,0 +1,37 @@
+package search
+
+import (
+	"context"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// Local is the in-process Evaluator behind offline searches (scda-bench
+// -search and the engine's own tests): each candidate runs through
+// scenario.RunReplicatedCtx on the pool, candidates sequentially and
+// replicates fanned out inside the pool. The service does not use it —
+// there the evaluator is a job-group submission so rounds ride the
+// queue/cache/singleflight/ring path.
+type Local struct {
+	// Pool runs the replicates; nil falls back to a serial pool.
+	Pool *runner.Pool
+}
+
+// EvaluateRound runs the round's candidates and returns their summary
+// metrics in candidate order.
+func (l *Local) EvaluateRound(ctx context.Context, round int, cands []Candidate) ([]map[string]float64, error) {
+	pool := l.Pool
+	if pool == nil {
+		pool = runner.Serial()
+	}
+	out := make([]map[string]float64, len(cands))
+	for i, c := range cands {
+		r, err := scenario.RunReplicatedCtx(ctx, c.Spec, c.Reps, pool, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.Summary
+	}
+	return out, nil
+}

@@ -1,0 +1,571 @@
+// Package search is the adaptive-experiment engine: it turns a scenario
+// spec carrying a search block (scenario.SearchSpec) into an iterative
+// optimization over one sweepable parameter. Each round the engine
+// synthesizes concrete variant specs (scenario.SetParameter +
+// collision-proof SearchVariantName), hands them to an Evaluator — the
+// service submits them as an ordinary job group through its
+// queue/cache/singleflight/ring path, the offline Local evaluator runs
+// them in-process — reads back summary metrics, prunes per the selected
+// strategy (grid-refine, halving, random) and converges on an incumbent.
+//
+// Everything in the decision path is deterministic and wall-clock-free:
+// proposals derive only from the spec (seeds included) and prior-round
+// metrics, and scenario runs are themselves deterministic. Re-running the
+// same search therefore evaluates the same variants in the same order and
+// produces a byte-identical trajectory — which is what makes a resubmitted
+// search a pure cache replay on the service. The one wall-clock knob,
+// MaxSeconds, is a safety valve outside that path: a search that hits it
+// fails instead of producing a time-dependent result.
+package search
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// metricAliases maps friendly goal-metric names onto the summary keys the
+// scenario runner emits.
+var metricAliases = map[string]string{
+	"afct":    "mean_fct_s",
+	"p50_fct": "median_fct_s",
+	"p90_fct": "p90_fct_s",
+	"p99_fct": "p99_fct_s",
+	"energy":  "energy_kj",
+}
+
+// ResolveMetric canonicalizes a goal or constraint metric name: known
+// aliases map to their summary key, anything else passes through as a raw
+// summary key (the key set depends on the run, so existence is checked
+// when results are read).
+func ResolveMetric(name string) string {
+	if k, ok := metricAliases[name]; ok {
+		return k
+	}
+	return name
+}
+
+// Constraint is one compiled feasibility predicate.
+type Constraint struct {
+	// Metric is the resolved summary key being constrained.
+	Metric string
+	// Op is scenario.OpLE or scenario.OpGE.
+	Op string
+	// Value is the bound.
+	Value float64
+}
+
+// satisfied evaluates the predicate against a summary value.
+func (c Constraint) satisfied(v float64) bool {
+	if c.Op == scenario.OpGE {
+		return v >= c.Value
+	}
+	return v <= c.Value
+}
+
+// Problem is a compiled search: the base spec plus the fully defaulted
+// goal, domain, strategy and budgets. Build one with Compile.
+type Problem struct {
+	// Base is the search-free base spec variants are synthesized from.
+	Base *scenario.Spec
+	// Objective is scenario.Minimize or scenario.Maximize.
+	Objective string
+	// Metric is the resolved summary key being optimized.
+	Metric string
+	// Constraints are the compiled feasibility predicates.
+	Constraints []Constraint
+	// Parameter is the sweepable parameter being searched.
+	Parameter string
+	// Lo and Hi bound the continuous domain (unused when Values is set).
+	Lo, Hi float64
+	// Values is the discrete domain (nil for continuous).
+	Values []float64
+	// Strategy is the resolved strategy name.
+	Strategy string
+	// Points is the resolved grid width / pool size / samples per round.
+	Points int
+	// Tolerance is grid-refine's bracket-width stop (0 = budget-driven).
+	Tolerance float64
+	// Seed drives the random strategy.
+	Seed uint64
+	// MaxRounds and MaxVariants are the resolved iteration budgets.
+	MaxRounds, MaxVariants int
+	// MaxSeconds is the wall-time safety valve (0 = unlimited).
+	MaxSeconds float64
+	// BaseReps is the replicate count per evaluation (halving's first
+	// rung, every round for the other strategies).
+	BaseReps int
+	// MaxReps caps halving's replicate growth.
+	MaxReps int
+}
+
+// Compile resolves a spec with a search block into a Problem: defaults
+// applied, metrics resolved, budgets checked against the first round's
+// candidate count. baseReps is the per-evaluation replicate count
+// (<= 0 means 1); maxReps caps halving's growth (<= 0 means 64).
+func Compile(spec *scenario.Spec, baseReps, maxReps int) (*Problem, error) {
+	if spec.Search == nil {
+		return nil, errors.New("search: spec has no search block")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ss := spec.Search
+	base := *spec
+	base.Search = nil
+	if baseReps <= 0 {
+		baseReps = 1
+	}
+	if maxReps <= 0 {
+		maxReps = 64
+	}
+	if baseReps > maxReps {
+		baseReps = maxReps
+	}
+	p := &Problem{
+		Base:        &base,
+		Objective:   ss.Objective,
+		Metric:      ResolveMetric(ss.Metric),
+		Parameter:   ss.Parameter,
+		Lo:          ss.Lo,
+		Hi:          ss.Hi,
+		Values:      append([]float64(nil), ss.Values...),
+		Strategy:    ss.Strategy,
+		Points:      ss.Points,
+		Tolerance:   ss.Tolerance,
+		Seed:        ss.Seed,
+		MaxRounds:   ss.MaxRounds,
+		MaxVariants: ss.MaxVariants,
+		MaxSeconds:  ss.MaxSeconds,
+		BaseReps:    baseReps,
+		MaxReps:     maxReps,
+	}
+	if p.Objective == "" {
+		p.Objective = scenario.Minimize
+	}
+	if p.Strategy == "" {
+		p.Strategy = scenario.StrategyGridRefine
+	}
+	if p.Points == 0 {
+		switch p.Strategy {
+		case scenario.StrategyHalving:
+			p.Points = 8
+		case scenario.StrategyRandom:
+			p.Points = 4
+		default:
+			p.Points = 5
+		}
+	}
+	if p.MaxRounds == 0 {
+		p.MaxRounds = 8
+	}
+	if p.MaxVariants == 0 {
+		p.MaxVariants = 64
+	}
+	if p.Seed == 0 {
+		p.Seed = base.Seed
+	}
+	for _, c := range ss.Constraints {
+		p.Constraints = append(p.Constraints, Constraint{Metric: ResolveMetric(c.Metric), Op: c.Op, Value: c.Value})
+	}
+	first := p.Points
+	if len(p.Values) > 0 && p.Strategy != scenario.StrategyRandom {
+		first = len(p.Values)
+	}
+	if first > p.MaxVariants {
+		return nil, fmt.Errorf("search: maxVariants %d below the first round's %d candidates", p.MaxVariants, first)
+	}
+	return p, nil
+}
+
+// integer reports whether the searched parameter only takes integer
+// values, so continuous proposals must round.
+func (p *Problem) integer() bool {
+	return p.Parameter == "system.nns" || p.Parameter == "seed"
+}
+
+// Variant synthesizes the concrete spec for one domain value: parameter
+// applied, collision-proof name, re-validated.
+func (p *Problem) Variant(v float64) (*scenario.Spec, error) {
+	spec, err := scenario.SetParameter(p.Base, p.Parameter, v)
+	if err != nil {
+		return nil, err
+	}
+	spec.Name = scenario.SearchVariantName(p.Base.Name, p.Parameter, v)
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("search variant %s: %w", spec.Name, err)
+	}
+	return spec, nil
+}
+
+// Candidate is one variant evaluation request handed to an Evaluator.
+type Candidate struct {
+	// Spec is the synthesized, validated variant spec.
+	Spec *scenario.Spec
+	// Value is the domain value the variant was synthesized from.
+	Value float64
+	// Reps is the replicate count to evaluate at.
+	Reps int
+}
+
+// Evaluator runs one round of candidates and returns each candidate's
+// summary metrics in candidate order. The engine never resubmits the same
+// (value, reps) pair, so every call carries fresh work only.
+type Evaluator interface {
+	EvaluateRound(ctx context.Context, round int, cands []Candidate) ([]map[string]float64, error)
+}
+
+// Variant is one evaluated variant's slot in a round record. The shape is
+// part of the deterministic trajectory: it carries no IDs, cache
+// information or timestamps, so identical searches serialize identically.
+type Variant struct {
+	// Name is the collision-proof synthesized scenario name.
+	Name string `json:"name"`
+	// Value is the domain value.
+	Value float64 `json:"value"`
+	// Reps is the replicate count the metrics were evaluated at.
+	Reps int `json:"reps"`
+	// Objective is the goal metric's value.
+	Objective float64 `json:"objective"`
+	// Feasible reports whether every constraint holds.
+	Feasible bool `json:"feasible"`
+	// Reused marks a variant whose metrics were carried over from an
+	// earlier round rather than freshly evaluated.
+	Reused bool `json:"reused,omitempty"`
+	// Kept reports whether the variant stayed in contention after the
+	// round's pruning.
+	Kept bool `json:"kept"`
+}
+
+// Round is one round's record: the variants considered, how many were
+// freshly evaluated and pruned, and the incumbent after the round.
+type Round struct {
+	// Round numbers rounds from 1.
+	Round int `json:"round"`
+	// Reps is the replicate count this round evaluated at.
+	Reps int `json:"reps"`
+	// Variants lists every variant considered this round in proposal
+	// order.
+	Variants []Variant `json:"variants"`
+	// Evaluations counts the fresh (non-reused) evaluations.
+	Evaluations int `json:"evaluations"`
+	// Pruned counts this round's variants dropped from contention.
+	Pruned int `json:"pruned"`
+	// Incumbent is the best feasible variant evaluated so far (absent
+	// while nothing feasible has been seen).
+	Incumbent *Variant `json:"incumbent,omitempty"`
+}
+
+// Result is a completed search: the full per-round table, the totals and
+// the incumbent with its canonical spec. Like Round it is deterministic —
+// identical searches marshal byte-identically.
+type Result struct {
+	// Name is the base scenario name.
+	Name string `json:"name"`
+	// Strategy, Objective, Metric and Parameter echo the compiled
+	// problem.
+	Strategy  string `json:"strategy"`
+	Objective string `json:"objective"`
+	Metric    string `json:"metric"`
+	Parameter string `json:"parameter"`
+	// Rounds is the per-round table.
+	Rounds []Round `json:"rounds"`
+	// Evaluations counts fresh variant evaluations — equal to the number
+	// of distinct (value, reps) pairs the search computed, since the
+	// engine memoizes within the search.
+	Evaluations int `json:"evaluations"`
+	// Pruned totals the per-round pruned counts.
+	Pruned int `json:"pruned"`
+	// Converged reports whether the strategy stopped on its own rather
+	// than exhausting a budget.
+	Converged bool `json:"converged"`
+	// Incumbent is the best feasible variant (absent when no evaluated
+	// variant satisfied the constraints).
+	Incumbent *Variant `json:"incumbent,omitempty"`
+	// IncumbentSpec is the incumbent's canonical spec JSON, ready to
+	// resubmit as an ordinary job.
+	IncumbentSpec json.RawMessage `json:"incumbentSpec,omitempty"`
+}
+
+// TrajectoryCSV renders the round-by-round incumbent trajectory as a CSV:
+// one row per round with the fresh-evaluation and pruned counts and the
+// incumbent's name, value and objective. Byte-stable across identical
+// searches.
+func (r *Result) TrajectoryCSV() []byte {
+	var b strings.Builder
+	b.WriteString("round,reps,evaluations,pruned,incumbent,value,objective\n")
+	for _, rd := range r.Rounds {
+		name, value, objective := "", "", ""
+		if rd.Incumbent != nil {
+			name = rd.Incumbent.Name
+			value = formatFloat(rd.Incumbent.Value)
+			objective = formatFloat(rd.Incumbent.Objective)
+		}
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%s,%s,%s\n", rd.Round, rd.Reps, rd.Evaluations, rd.Pruned, name, value, objective)
+	}
+	return []byte(b.String())
+}
+
+// formatFloat renders a float for the trajectory CSV: shortest exact
+// representation, so the rendering is deterministic.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// scored is one evaluated variant in the engine's memo.
+type scored struct {
+	name      string
+	value     float64
+	reps      int
+	objective float64
+	feasible  bool
+}
+
+// variant renders the scored entry as a wire Variant (Reused and Kept
+// are filled by the round loop).
+func (s *scored) variant() Variant {
+	return Variant{Name: s.name, Value: s.value, Reps: s.reps, Objective: s.objective, Feasible: s.feasible}
+}
+
+// memoKey identifies one evaluation: the engine never pays twice for the
+// same (value, reps) pair within a search.
+type memoKey struct {
+	value float64
+	reps  int
+}
+
+// history accumulates evaluations and the running best/incumbent.
+type history struct {
+	p    *Problem
+	memo map[memoKey]*scored
+	best *scored // best overall, used for refinement when nothing is feasible
+	inc  *scored // best feasible — the reported incumbent
+}
+
+// better reports whether a should be preferred over b under the problem's
+// objective: feasible beats infeasible, then the objective, then the
+// deterministic tiebreaks (smaller value, then more replicates — an
+// equal score at higher replication is the more trustworthy estimate).
+func (h *history) better(a, b *scored) bool {
+	if b == nil {
+		return true
+	}
+	if a.feasible != b.feasible {
+		return a.feasible
+	}
+	if a.objective != b.objective {
+		if h.p.Objective == scenario.Maximize {
+			return a.objective > b.objective
+		}
+		return a.objective < b.objective
+	}
+	if a.value != b.value {
+		return a.value < b.value
+	}
+	return a.reps > b.reps
+}
+
+// update folds one evaluation into the running best and incumbent.
+func (h *history) update(s *scored) {
+	if h.better(s, h.best) {
+		h.best = s
+	}
+	if s.feasible && (h.inc == nil || h.better(s, h.inc)) {
+		h.inc = s
+	}
+}
+
+// refineTarget is the variant refinement centers on: the incumbent when
+// one exists, the best overall otherwise (so a search whose early rounds
+// are all infeasible still moves instead of stalling).
+func (h *history) refineTarget() *scored {
+	if h.inc != nil {
+		return h.inc
+	}
+	return h.best
+}
+
+// score extracts the objective and feasibility from one evaluation's
+// summary metrics, erroring on a missing metric key (a goal naming a
+// metric the scenario does not produce should fail the search loudly,
+// not optimize garbage).
+func (h *history) score(c Candidate, m map[string]float64) (*scored, error) {
+	obj, ok := m[h.p.Metric]
+	if !ok {
+		return nil, fmt.Errorf("search: variant %s has no summary metric %q", c.Spec.Name, h.p.Metric)
+	}
+	s := &scored{name: c.Spec.Name, value: c.Value, reps: c.Reps, objective: obj, feasible: true}
+	for _, cons := range h.p.Constraints {
+		v, ok := m[cons.Metric]
+		if !ok {
+			return nil, fmt.Errorf("search: variant %s has no summary metric %q (constraint)", c.Spec.Name, cons.Metric)
+		}
+		if !cons.satisfied(v) {
+			s.feasible = false
+		}
+	}
+	return s, nil
+}
+
+// Run executes the compiled search against the evaluator: plan a round,
+// evaluate the fresh candidates, fold results in, prune, repeat until the
+// strategy converges or a budget runs out. obs (optional) receives each
+// round record as it completes — the service streams these as NDJSON
+// events. The returned Result is fully deterministic; the error paths are
+// evaluator failures, invalid synthesized variants, missing metrics and
+// context cancellation (which includes the MaxSeconds wall-time valve).
+func Run(ctx context.Context, p *Problem, ev Evaluator, obs func(Round)) (*Result, error) {
+	if p.MaxSeconds > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(p.MaxSeconds*float64(time.Second)))
+		defer cancel()
+	}
+	h := &history{p: p, memo: make(map[memoKey]*scored)}
+	strat, err := newStrategy(p, h)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:      p.Base.Name,
+		Strategy:  p.Strategy,
+		Objective: p.Objective,
+		Metric:    p.Metric,
+		Parameter: p.Parameter,
+		Rounds:    []Round{},
+	}
+	for r := 1; r <= p.MaxRounds; r++ {
+		values, reps := strat.plan(r)
+		values = dedupe(values)
+		if len(values) == 0 {
+			res.Converged = true
+			break
+		}
+		sc := make([]*scored, len(values))
+		fresh := make([]bool, len(values))
+		var cands []Candidate
+		var freshIdx []int
+		for i, v := range values {
+			if m := h.memo[memoKey{v, reps}]; m != nil {
+				sc[i] = m
+				continue
+			}
+			spec, err := p.Variant(v)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, Candidate{Spec: spec, Value: v, Reps: reps})
+			freshIdx = append(freshIdx, i)
+			fresh[i] = true
+		}
+		if res.Evaluations+len(cands) > p.MaxVariants {
+			break // budget exhausted before this round; the trajectory so far stands
+		}
+		if len(cands) > 0 {
+			ms, err := ev.EvaluateRound(ctx, r, cands)
+			if err != nil {
+				return nil, err
+			}
+			if len(ms) != len(cands) {
+				return nil, fmt.Errorf("search: evaluator returned %d results for %d candidates", len(ms), len(cands))
+			}
+			for k, i := range freshIdx {
+				s, err := h.score(cands[k], ms[k])
+				if err != nil {
+					return nil, err
+				}
+				sc[i] = s
+				h.memo[memoKey{s.value, s.reps}] = s
+			}
+			res.Evaluations += len(cands)
+		}
+		for _, s := range sc {
+			h.update(s)
+		}
+		kept := strat.observe(r, sc)
+		round := Round{Round: r, Reps: reps, Evaluations: len(cands), Variants: make([]Variant, 0, len(sc))}
+		for i, s := range sc {
+			v := s.variant()
+			v.Reused = !fresh[i]
+			v.Kept = kept[s.value]
+			if !v.Kept {
+				round.Pruned++
+			}
+			round.Variants = append(round.Variants, v)
+		}
+		res.Pruned += round.Pruned
+		if h.inc != nil {
+			iv := h.inc.variant()
+			iv.Kept = true
+			round.Incumbent = &iv
+		}
+		res.Rounds = append(res.Rounds, round)
+		if obs != nil {
+			obs(round)
+		}
+	}
+	if len(res.Rounds) == 0 {
+		return nil, errors.New("search: budgets admit no rounds")
+	}
+	if h.inc != nil {
+		iv := h.inc.variant()
+		iv.Kept = true
+		res.Incumbent = &iv
+		spec, err := p.Variant(h.inc.value)
+		if err != nil {
+			return nil, err
+		}
+		canon, err := spec.CanonicalJSON()
+		if err != nil {
+			return nil, err
+		}
+		res.IncumbentSpec = canon
+	}
+	return res, nil
+}
+
+// dedupe drops repeated values from a round's proposals, preserving
+// first-occurrence order, so a round never carries the same evaluation
+// twice (integer rounding and random sampling can propose duplicates).
+func dedupe(values []float64) []float64 {
+	if len(values) < 2 {
+		return values
+	}
+	seen := make(map[float64]bool, len(values))
+	out := values[:0]
+	for _, v := range values {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// gridPoints returns n evenly spaced points over [lo, hi] (endpoints
+// included), rounded to integers when the parameter requires it and
+// deduplicated, ascending.
+func gridPoints(lo, hi float64, n int, integer bool) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := lo + (hi-lo)*float64(i)/float64(n-1)
+		if integer {
+			v = math.Round(v)
+		}
+		if len(vals) > 0 && v == vals[len(vals)-1] {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}

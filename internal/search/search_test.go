@@ -1,0 +1,457 @@
+package search
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// baseJSON is a small valid scenario the engine tests synthesize variants
+// from; the fake evaluator below means no simulation actually runs.
+const baseJSON = `{
+  "version": 1,
+  "name": "srch",
+  "seed": 7,
+  "duration": 5,
+  "topology": {"kind": "custom", "racks": 2, "serversPerRack": 2, "aggSwitches": 1, "clients": 8, "x": 5e7, "k": 2},
+  "system": {"kind": "scda", "replicate": true},
+  "workload": [{"generator": "dc", "params": {"ArrivalRate": 20, "Clients": 8}}]
+}`
+
+// loadBase parses baseJSON and attaches the given search block.
+func loadBase(t *testing.T, ss *scenario.SearchSpec) *scenario.Spec {
+	t.Helper()
+	spec, err := scenario.Parse(strings.NewReader(baseJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Search = ss
+	return spec
+}
+
+// fakeEval scores candidates with a pure function of (value, reps) and
+// records every evaluation so tests can assert the memo never pays twice.
+type fakeEval struct {
+	fn    func(v float64, reps int) map[string]float64
+	seen  map[memoKey]int
+	evals int
+}
+
+// EvaluateRound implements Evaluator.
+func (f *fakeEval) EvaluateRound(ctx context.Context, round int, cands []Candidate) ([]map[string]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if f.seen == nil {
+		f.seen = map[memoKey]int{}
+	}
+	out := make([]map[string]float64, len(cands))
+	for i, c := range cands {
+		f.seen[memoKey{c.Value, c.Reps}]++
+		f.evals++
+		out[i] = f.fn(c.Value, c.Reps)
+	}
+	return out, nil
+}
+
+// assertNoRepeats fails if any (value, reps) pair was evaluated twice.
+func (f *fakeEval) assertNoRepeats(t *testing.T) {
+	t.Helper()
+	for k, n := range f.seen {
+		if n > 1 {
+			t.Errorf("value %v reps %d evaluated %d times", k.value, k.reps, n)
+		}
+	}
+}
+
+// parabola is a convex objective minimized at target, with an energy
+// metric proportional to the value for constraint tests.
+func parabola(target float64) func(v float64, reps int) map[string]float64 {
+	return func(v float64, reps int) map[string]float64 {
+		d := (v - target) / 1e6
+		return map[string]float64{"mean_fct_s": d * d, "energy_kj": v / 1e6}
+	}
+}
+
+func TestCompileDefaultsAndAliases(t *testing.T) {
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:      "afct",
+		Constraints: []scenario.ConstraintSpec{{Metric: "energy", Op: scenario.OpLE, Value: 5}},
+		Parameter:   "system.rscale",
+		Lo:          1e6, Hi: 9e6,
+	})
+	p, err := Compile(spec, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metric != "mean_fct_s" || p.Constraints[0].Metric != "energy_kj" {
+		t.Errorf("aliases not resolved: %q, %q", p.Metric, p.Constraints[0].Metric)
+	}
+	if p.Objective != scenario.Minimize || p.Strategy != scenario.StrategyGridRefine ||
+		p.Points != 5 || p.MaxRounds != 8 || p.MaxVariants != 64 || p.BaseReps != 1 {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	if p.Seed != 7 {
+		t.Errorf("seed %d not derived from base spec", p.Seed)
+	}
+	if p.Base.Search != nil {
+		t.Error("base spec kept the search block")
+	}
+
+	if _, err := Compile(&scenario.Spec{}, 0, 0); err == nil || !strings.Contains(err.Error(), "no search block") {
+		t.Errorf("no-search-block error: %v", err)
+	}
+	tight := loadBase(t, &scenario.SearchSpec{Metric: "afct", Parameter: "system.rscale", Lo: 1e6, Hi: 9e6, MaxVariants: 3})
+	if _, err := Compile(tight, 0, 0); err == nil || !strings.Contains(err.Error(), "maxVariants") {
+		t.Errorf("first-round budget error: %v", err)
+	}
+}
+
+func TestGridRefineConvergesAndReplays(t *testing.T) {
+	run := func() (*Result, *fakeEval) {
+		spec := loadBase(t, &scenario.SearchSpec{
+			Metric:    "afct",
+			Parameter: "system.rscale",
+			Lo:        1e6, Hi: 9e6,
+			Tolerance: 1e6,
+		})
+		p, err := Compile(spec, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := &fakeEval{fn: parabola(3e6)}
+		var rounds int
+		res, err := Run(context.Background(), p, ev, func(Round) { rounds++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != len(res.Rounds) {
+			t.Errorf("observer saw %d rounds, result has %d", rounds, len(res.Rounds))
+		}
+		return res, ev
+	}
+	res, ev := run()
+	ev.assertNoRepeats(t)
+	if !res.Converged {
+		t.Error("grid-refine did not converge")
+	}
+	if res.Incumbent == nil || res.Incumbent.Value != 3e6 {
+		t.Fatalf("incumbent %+v, want value 3e6", res.Incumbent)
+	}
+	// Rounds: grid of 5 over [1e6,9e6], refine to [2e6,4e6], then
+	// tolerance 1e6 stops after the bracket shrinks to [2.5e6,3.5e6].
+	if len(res.Rounds) != 3 || res.Evaluations != 9 {
+		t.Errorf("rounds %d evaluations %d, want 3 and 9", len(res.Rounds), res.Evaluations)
+	}
+	reused := 0
+	for _, v := range res.Rounds[1].Variants {
+		if v.Reused {
+			reused++
+		}
+	}
+	if reused != 3 {
+		t.Errorf("round 2 reused %d variants, want 3", reused)
+	}
+	if res.IncumbentSpec == nil || !bytes.Contains(res.IncumbentSpec, []byte(res.Incumbent.Name)) {
+		t.Errorf("incumbent spec missing or unnamed: %s", res.IncumbentSpec)
+	}
+
+	// Identical search, fresh engine: byte-identical result and trajectory.
+	res2, _ := run()
+	j1, _ := json.Marshal(res)
+	j2, _ := json.Marshal(res2)
+	if !bytes.Equal(j1, j2) {
+		t.Error("identical searches produced different result JSON")
+	}
+	if !bytes.Equal(res.TrajectoryCSV(), res2.TrajectoryCSV()) {
+		t.Error("identical searches produced different trajectory CSVs")
+	}
+	csv := string(res.TrajectoryCSV())
+	if !strings.HasPrefix(csv, "round,reps,evaluations,pruned,incumbent,value,objective\n") {
+		t.Errorf("trajectory header: %q", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 1+len(res.Rounds) {
+		t.Errorf("trajectory has %d lines, want %d", lines, 1+len(res.Rounds))
+	}
+}
+
+func TestGridRefineDiscreteSingleRound(t *testing.T) {
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:    "afct",
+		Parameter: "system.rscale",
+		Values:    []float64{1e6, 3e6, 5e6},
+	})
+	p, err := Compile(spec, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), p, &fakeEval{fn: parabola(3e6)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 || res.Evaluations != 3 || !res.Converged {
+		t.Errorf("rounds %d evaluations %d converged %v", len(res.Rounds), res.Evaluations, res.Converged)
+	}
+	if res.Incumbent == nil || res.Incumbent.Value != 3e6 {
+		t.Fatalf("incumbent %+v", res.Incumbent)
+	}
+	if res.Pruned != 2 {
+		t.Errorf("pruned %d, want 2", res.Pruned)
+	}
+}
+
+func TestHalvingGrowsRepsAndHalvesPool(t *testing.T) {
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:    "afct",
+		Strategy:  scenario.StrategyHalving,
+		Parameter: "system.rscale",
+		Values:    []float64{1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 7e6, 8e6},
+	})
+	p, err := Compile(spec, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &fakeEval{fn: parabola(3e6)}
+	res, err := Run(context.Background(), p, ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.assertNoRepeats(t)
+	if len(res.Rounds) != 3 || !res.Converged {
+		t.Fatalf("rounds %d converged %v", len(res.Rounds), res.Converged)
+	}
+	wantReps := []int{1, 2, 4}
+	wantSizes := []int{8, 4, 2}
+	for i, rd := range res.Rounds {
+		if rd.Reps != wantReps[i] || len(rd.Variants) != wantSizes[i] {
+			t.Errorf("round %d: reps %d size %d, want %d and %d", i+1, rd.Reps, len(rd.Variants), wantReps[i], wantSizes[i])
+		}
+	}
+	if res.Evaluations != 14 {
+		t.Errorf("evaluations %d, want 14", res.Evaluations)
+	}
+	if res.Incumbent == nil || res.Incumbent.Value != 3e6 || res.Incumbent.Reps != 4 {
+		t.Fatalf("incumbent %+v", res.Incumbent)
+	}
+}
+
+func TestHalvingStopsAtRepsCap(t *testing.T) {
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:    "afct",
+		Strategy:  scenario.StrategyHalving,
+		Parameter: "system.rscale",
+		Values:    []float64{1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 7e6, 8e6},
+	})
+	p, err := Compile(spec, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), p, &fakeEval{fn: parabola(3e6)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reps go 1 → 2 and can then no longer grow: two rounds, converged.
+	if len(res.Rounds) != 2 || !res.Converged {
+		t.Errorf("rounds %d converged %v", len(res.Rounds), res.Converged)
+	}
+}
+
+func TestRandomSeededAndDeterministic(t *testing.T) {
+	run := func(seed uint64) *Result {
+		spec := loadBase(t, &scenario.SearchSpec{
+			Metric:    "afct",
+			Strategy:  scenario.StrategyRandom,
+			Parameter: "system.rscale",
+			Lo:        1e6, Hi: 9e6,
+			Seed:      seed,
+			MaxRounds: 3,
+		})
+		p, err := Compile(spec, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), p, &fakeEval{fn: parabola(3e6)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(11), run(11)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Error("same seed produced different searches")
+	}
+	if len(a.Rounds) != 3 || a.Converged {
+		t.Errorf("rounds %d converged %v, want 3 budget-bounded rounds", len(a.Rounds), a.Converged)
+	}
+	c := run(12)
+	jc, _ := json.Marshal(c)
+	if bytes.Equal(ja, jc) {
+		t.Error("different seeds sampled identical searches")
+	}
+}
+
+func TestConstraintsPickFeasibleIncumbent(t *testing.T) {
+	// Unconstrained optimum 3e6 draws energy 3; cap energy at 2.4 so the
+	// incumbent must move to the best feasible value instead.
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:      "afct",
+		Constraints: []scenario.ConstraintSpec{{Metric: "energy", Op: scenario.OpLE, Value: 2.4}},
+		Parameter:   "system.rscale",
+		Values:      []float64{1e6, 2e6, 3e6, 4e6},
+	})
+	p, err := Compile(spec, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), p, &fakeEval{fn: parabola(3e6)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incumbent == nil || res.Incumbent.Value != 2e6 || !res.Incumbent.Feasible {
+		t.Fatalf("incumbent %+v, want feasible value 2e6", res.Incumbent)
+	}
+	for _, v := range res.Rounds[0].Variants {
+		wantFeasible := v.Value <= 2e6
+		if v.Feasible != wantFeasible {
+			t.Errorf("value %v feasible %v", v.Value, v.Feasible)
+		}
+	}
+
+	// Nothing feasible: no incumbent, no incumbent spec.
+	spec = loadBase(t, &scenario.SearchSpec{
+		Metric:      "afct",
+		Constraints: []scenario.ConstraintSpec{{Metric: "energy", Op: scenario.OpGE, Value: 100}},
+		Parameter:   "system.rscale",
+		Values:      []float64{1e6, 2e6},
+	})
+	p, err = Compile(spec, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(context.Background(), p, &fakeEval{fn: parabola(3e6)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incumbent != nil || res.IncumbentSpec != nil {
+		t.Errorf("infeasible search produced incumbent %+v", res.Incumbent)
+	}
+}
+
+func TestMaxVariantsStopsBeforeOvershoot(t *testing.T) {
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:    "afct",
+		Strategy:  scenario.StrategyRandom,
+		Parameter: "system.rscale",
+		Lo:        1e6, Hi: 9e6,
+		Points:      4,
+		MaxRounds:   8,
+		MaxVariants: 6,
+	})
+	p, err := Compile(spec, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &fakeEval{fn: parabola(3e6)}
+	res, err := Run(context.Background(), p, ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 || res.Evaluations != 4 || res.Converged {
+		t.Errorf("rounds %d evaluations %d converged %v, want budget stop after round 1",
+			len(res.Rounds), res.Evaluations, res.Converged)
+	}
+	if ev.evals != res.Evaluations {
+		t.Errorf("evaluator ran %d candidates, result reports %d", ev.evals, res.Evaluations)
+	}
+}
+
+func TestMissingMetricFailsLoudly(t *testing.T) {
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:    "p99_fct",
+		Parameter: "system.rscale",
+		Values:    []float64{1e6},
+	})
+	p, err := Compile(spec, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), p, &fakeEval{fn: parabola(3e6)}, nil)
+	if err == nil || !strings.Contains(err.Error(), "p99_fct_s") {
+		t.Errorf("missing metric error: %v", err)
+	}
+}
+
+func TestCancellationPropagates(t *testing.T) {
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:    "afct",
+		Parameter: "system.rscale",
+		Lo:        1e6, Hi: 9e6,
+	})
+	p, err := Compile(spec, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, p, &fakeEval{fn: parabola(3e6)}, nil); err != context.Canceled {
+		t.Errorf("cancelled run: %v", err)
+	}
+}
+
+// blockingEval waits for the context to expire — exercising the
+// MaxSeconds wall-time valve, which fails the search instead of shipping
+// a truncated trajectory.
+type blockingEval struct{}
+
+// EvaluateRound implements Evaluator.
+func (blockingEval) EvaluateRound(ctx context.Context, round int, cands []Candidate) ([]map[string]float64, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestMaxSecondsFailsTheSearch(t *testing.T) {
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:    "afct",
+		Parameter: "system.rscale",
+		Lo:        1e6, Hi: 9e6,
+		MaxSeconds: 0.001,
+	})
+	p, err := Compile(spec, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), p, blockingEval{}, nil); err != context.DeadlineExceeded {
+		t.Errorf("wall-time valve: %v", err)
+	}
+}
+
+func TestLocalEvaluatorRunsRealScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	spec := loadBase(t, &scenario.SearchSpec{
+		Metric:    "afct",
+		Parameter: "system.rscale",
+		Values:    []float64{1e6, 5e7},
+	})
+	p, err := Compile(spec, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), p, &Local{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incumbent == nil {
+		t.Fatal("no incumbent from real runs")
+	}
+	if res.Evaluations != 2 {
+		t.Errorf("evaluations %d", res.Evaluations)
+	}
+}

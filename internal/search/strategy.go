@@ -1,0 +1,219 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// searchStreamLabel keeps the random strategy's RNG stream disjoint from
+// every stream the simulator splits off the same seed.
+const searchStreamLabel = 0x5ea2c4
+
+// strategy is the per-round planner behind Run. plan proposes the round's
+// domain values and replicate count (empty values = converged, stop);
+// observe feeds the round's scored variants back (in proposal order) and
+// returns the set of values still in contention, which the engine reports
+// as each variant's Kept flag.
+type strategy interface {
+	plan(round int) ([]float64, int)
+	observe(round int, sc []*scored) map[float64]bool
+}
+
+// newStrategy instantiates the compiled problem's planner.
+func newStrategy(p *Problem, h *history) (strategy, error) {
+	switch p.Strategy {
+	case scenario.StrategyGridRefine:
+		return &gridRefine{p: p, h: h, lo: p.Lo, hi: p.Hi}, nil
+	case scenario.StrategyHalving:
+		return &halving{p: p, h: h}, nil
+	case scenario.StrategyRandom:
+		// Split off a dedicated stream so the search's draws are
+		// independent of anything the simulator draws from the same seed.
+		return &randomSearch{p: p, h: h, rng: sim.NewRNG(p.Seed).Split(searchStreamLabel)}, nil
+	}
+	return nil, fmt.Errorf("search: unknown strategy %q", p.Strategy)
+}
+
+// gridRefine evaluates an evenly spaced grid, then recursively re-grids
+// the bracket around the refinement target (the incumbent, or the best
+// overall while nothing is feasible). It stops when the bracket stops
+// shrinking, shrinks to a point, or reaches the tolerance. A discrete
+// domain is a single exhaustive round.
+type gridRefine struct {
+	p      *Problem
+	h      *history
+	lo, hi float64
+	done   bool
+}
+
+// plan proposes the current bracket's grid (or the full discrete domain
+// in round 1).
+func (g *gridRefine) plan(round int) ([]float64, int) {
+	if g.done {
+		return nil, 0
+	}
+	if len(g.p.Values) > 0 {
+		if round > 1 {
+			return nil, 0
+		}
+		return append([]float64(nil), g.p.Values...), g.p.BaseReps
+	}
+	return gridPoints(g.lo, g.hi, g.p.Points, g.p.integer()), g.p.BaseReps
+}
+
+// observe narrows the bracket to the grid neighbors of the refinement
+// target and decides convergence.
+func (g *gridRefine) observe(round int, sc []*scored) map[float64]bool {
+	if len(g.p.Values) > 0 {
+		g.done = true
+		kept := map[float64]bool{}
+		if t := g.h.refineTarget(); t != nil {
+			kept[t.value] = true
+		}
+		return kept
+	}
+	target := g.h.refineTarget()
+	best := 0
+	for i, s := range sc {
+		if s.value == target.value {
+			best = i
+		}
+	}
+	lo, hi := sc[max(0, best-1)].value, sc[min(len(sc)-1, best+1)].value
+	kept := map[float64]bool{}
+	for _, s := range sc {
+		if s.value >= lo && s.value <= hi {
+			kept[s.value] = true
+		}
+	}
+	switch {
+	case lo == g.lo && hi == g.hi: // bracket no longer shrinking
+		g.done = true
+	case hi-lo <= g.p.Tolerance:
+		g.done = true
+	case lo == hi:
+		g.done = true
+	}
+	g.lo, g.hi = lo, hi
+	return kept
+}
+
+// halving is successive halving: round 1 evaluates the full candidate
+// pool at BaseReps; each later round doubles the replicates (capped at
+// MaxReps) for the better half of the survivors, until one remains or
+// the replicate cap makes further rounds uninformative.
+type halving struct {
+	p         *Problem
+	h         *history
+	survivors []float64
+	reps      int
+	done      bool
+}
+
+// plan proposes the surviving pool at the next replicate rung.
+func (h *halving) plan(round int) ([]float64, int) {
+	if h.done {
+		return nil, 0
+	}
+	if round == 1 {
+		h.reps = h.p.BaseReps
+		if len(h.p.Values) > 0 {
+			return append([]float64(nil), h.p.Values...), h.reps
+		}
+		return gridPoints(h.p.Lo, h.p.Hi, h.p.Points, h.p.integer()), h.reps
+	}
+	next := h.reps * 2
+	if next > h.p.MaxReps {
+		next = h.p.MaxReps
+	}
+	if next == h.reps {
+		// Replicates can no longer grow; re-evaluating the survivors at
+		// the same rung would all memo-hit and decide nothing.
+		return nil, 0
+	}
+	h.reps = next
+	return append([]float64(nil), h.survivors...), h.reps
+}
+
+// observe ranks the round and keeps the better half, ascending by value
+// for a deterministic next-round proposal order.
+func (h *halving) observe(round int, sc []*scored) map[float64]bool {
+	ranked := append([]*scored(nil), sc...)
+	sort.SliceStable(ranked, func(i, j int) bool { return h.h.better(ranked[i], ranked[j]) })
+	keep := (len(ranked) + 1) / 2
+	kept := map[float64]bool{}
+	h.survivors = h.survivors[:0]
+	for _, s := range ranked[:keep] {
+		kept[s.value] = true
+		h.survivors = append(h.survivors, s.value)
+	}
+	sort.Float64s(h.survivors)
+	if keep <= 1 {
+		h.done = true
+	}
+	return kept
+}
+
+// randomSearch is the seeded uniform baseline: Points fresh samples per
+// round, every round, until a budget runs out. Only the running incumbent
+// is kept.
+type randomSearch struct {
+	p   *Problem
+	h   *history
+	rng *sim.RNG
+}
+
+// plan draws the round's samples — uniform over [lo, hi] (rounded for
+// integer parameters) or without replacement from a discrete domain.
+func (r *randomSearch) plan(round int) ([]float64, int) {
+	n := r.p.Points
+	if len(r.p.Values) > 0 {
+		if n > len(r.p.Values) {
+			n = len(r.p.Values)
+		}
+		vals := make([]float64, 0, n)
+		for _, i := range r.rng.Perm(len(r.p.Values))[:n] {
+			vals = append(vals, r.p.Values[i])
+		}
+		return vals, r.p.BaseReps
+	}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := r.p.Lo + r.rng.Float64()*(r.p.Hi-r.p.Lo)
+		if r.p.integer() {
+			v = math.Round(v)
+		}
+		vals = append(vals, v)
+	}
+	return vals, r.p.BaseReps
+}
+
+// observe keeps only the refinement target (the incumbent once one
+// exists).
+func (r *randomSearch) observe(round int, sc []*scored) map[float64]bool {
+	kept := map[float64]bool{}
+	if t := r.h.refineTarget(); t != nil {
+		kept[t.value] = true
+	}
+	return kept
+}
+
+// min returns the smaller int.
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// max returns the larger int.
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -90,6 +90,49 @@ func BenchmarkServiceGroupSubmitCached(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceSearchCached measures an adaptive search replay end to
+// end over HTTP: POST a search spec whose every evaluation is already
+// cached and wait for convergence. Per iteration that is a strict parse,
+// search compilation, and a full engine run — one round submitted as a
+// job group whose variants are all born-done cache hits — with zero
+// simulation work. This is the cost of asking an already-answered
+// optimization question. Recorded in BENCH_hotpath.json by
+// scripts/bench.sh.
+func BenchmarkServiceSearchCached(b *testing.B) {
+	svc := New(Config{Workers: 1, JobRunners: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Warm the cache with one real run of the search's evaluations.
+	resp, err := http.Post(ts.URL+"/v1/searches?wait=true", "application/json", strings.NewReader(searchSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup search submit status %d", resp.StatusCode)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/searches?wait=true", "application/json", strings.NewReader(searchSpec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("search submission %d status %d", i, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), `"cacheHits": 2`) {
+			b.Fatalf("search submission %d missed the cache: %s", i, body)
+		}
+	}
+}
+
 // BenchmarkServiceSubmitShed measures the rejection fast path: a service
 // pinned into overload (1ms SLO against a seeded 10s cost estimate) must
 // answer every submission 429 before touching the body — the whole point

@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// SearchVariant is the client-side view of one evaluated search variant.
+type SearchVariant struct {
+	// Name is the synthesized variant scenario name; Value the domain
+	// value it was evaluated at.
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Reps is the replicate count behind the metrics.
+	Reps int `json:"reps"`
+	// Objective is the goal metric's value; Feasible whether every
+	// constraint held.
+	Objective float64 `json:"objective"`
+	Feasible  bool    `json:"feasible"`
+	// Reused marks metrics carried over from an earlier round; Kept
+	// whether the variant stayed in contention after pruning.
+	Reused bool `json:"reused,omitempty"`
+	Kept   bool `json:"kept"`
+}
+
+// SearchStatus is the client-side view of a search status document.
+type SearchStatus struct {
+	// ID is the search handle; Name the base scenario name.
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// State is the lifecycle state: queued, running, done, failed,
+	// cancelled.
+	State string `json:"state"`
+	// Strategy, Objective, Metric and Parameter echo the compiled search.
+	Strategy  string `json:"strategy"`
+	Objective string `json:"objective"`
+	Metric    string `json:"metric"`
+	Parameter string `json:"parameter"`
+	// Reps and Priority echo the submission knobs.
+	Reps     int `json:"reps"`
+	Priority int `json:"priority"`
+	// Rounds, Evaluations, CacheHits and Pruned count the work so far; a
+	// replayed identical search reports CacheHits == Evaluations.
+	Rounds      int `json:"rounds"`
+	Evaluations int `json:"evaluations"`
+	CacheHits   int `json:"cacheHits"`
+	Pruned      int `json:"pruned"`
+	// Incumbent is the best feasible variant so far.
+	Incumbent *SearchVariant `json:"incumbent,omitempty"`
+	// Error carries the failure reason for a failed search.
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the search status is final.
+func (s SearchStatus) Terminal() bool {
+	return s.State == "done" || s.State == "failed" || s.State == "cancelled"
+}
+
+// SearchOpts carries the search submission knobs; zero values are
+// omitted. Searches take no deadline — the spec's maxSeconds budget is
+// the supported wall-clock valve.
+type SearchOpts struct {
+	// Reps is the base replicate count per evaluation (?reps=).
+	Reps int
+	// Priority mirrors ?priority=.
+	Priority int
+	// Wait submits with ?wait=true, blocking until the search is
+	// terminal.
+	Wait bool
+}
+
+// query renders the options.
+func (o SearchOpts) query() url.Values {
+	q := url.Values{}
+	if o.Reps > 0 {
+		q.Set("reps", strconv.Itoa(o.Reps))
+	}
+	if o.Priority != 0 {
+		q.Set("priority", strconv.Itoa(o.Priority))
+	}
+	if o.Wait {
+		q.Set("wait", "true")
+	}
+	return q
+}
+
+// SubmitSearch posts one scenario spec with a search block (raw JSON
+// bytes) to /v1/searches, retrying through shed load, and returns the
+// search status.
+func (c *Client) SubmitSearch(ctx context.Context, spec []byte, opts SearchOpts) (SearchStatus, error) {
+	b, _, err := c.do(ctx, http.MethodPost, "/v1/searches", opts.query(), spec)
+	if err != nil {
+		return SearchStatus{}, err
+	}
+	var st SearchStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		return SearchStatus{}, fmt.Errorf("decoding search status: %w", err)
+	}
+	return st, nil
+}
+
+// Search fetches one search's status.
+func (c *Client) Search(ctx context.Context, id string) (SearchStatus, error) {
+	b, _, err := c.do(ctx, http.MethodGet, "/v1/searches/"+id, nil, nil)
+	if err != nil {
+		return SearchStatus{}, err
+	}
+	var st SearchStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		return SearchStatus{}, fmt.Errorf("decoding search status: %w", err)
+	}
+	return st, nil
+}
+
+// Searches lists every search the service remembers, in submission
+// order.
+func (c *Client) Searches(ctx context.Context) ([]SearchStatus, error) {
+	b, _, err := c.do(ctx, http.MethodGet, "/v1/searches", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var sts []SearchStatus
+	if err := json.Unmarshal(b, &sts); err != nil {
+		return nil, fmt.Errorf("decoding search list: %w", err)
+	}
+	return sts, nil
+}
+
+// WaitSearch polls the search until it reaches a terminal state, backing
+// off between polls like WaitJob.
+func (c *Client) WaitSearch(ctx context.Context, id string) (SearchStatus, error) {
+	delay := c.policy.BaseDelay
+	for {
+		st, err := c.Search(ctx, id)
+		if err != nil {
+			return SearchStatus{}, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, c.jitter(delay)); err != nil {
+			return SearchStatus{}, err
+		}
+		if delay *= 2; delay > c.policy.MaxDelay {
+			delay = c.policy.MaxDelay
+		}
+	}
+}
+
+// SearchResult fetches a done search's result: the deterministic JSON
+// document by default, or the round-by-round trajectory CSV with csv set
+// to "trajectory".
+func (c *Client) SearchResult(ctx context.Context, id, csv string) ([]byte, error) {
+	q := url.Values{}
+	if csv != "" {
+		q.Set("csv", csv)
+	}
+	b, _, err := c.do(ctx, http.MethodGet, "/v1/searches/"+id+"/result", q, nil)
+	return b, err
+}
+
+// CancelSearch DELETEs the search; the cancel fans out to the in-flight
+// round's jobs. The returned status reflects the cancellation.
+func (c *Client) CancelSearch(ctx context.Context, id string) (SearchStatus, error) {
+	b, _, err := c.do(ctx, http.MethodDelete, "/v1/searches/"+id, nil, nil)
+	if err != nil {
+		return SearchStatus{}, err
+	}
+	var st SearchStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		return SearchStatus{}, fmt.Errorf("decoding search status: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,177 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitSearchRetriesThroughShed(t *testing.T) {
+	// A search submission shed twice with Retry-After: 1 then accepted:
+	// the client waits the hinted second each time and decodes the
+	// eventual status.
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/searches" || r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("reps") != "2" || r.URL.Query().Get("wait") != "true" {
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error": "submission knobs not forwarded"}`))
+			return
+		}
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error": "overloaded"}`))
+			return
+		}
+		w.Write([]byte(`{"id": "s000001", "state": "done", "strategy": "grid-refine",
+		                 "rounds": 2, "evaluations": 7, "cacheHits": 0,
+		                 "incumbent": {"name": "x-p42", "value": 3e6, "reps": 1, "objective": 0.5, "feasible": true, "kept": true}}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays), WithRetryPolicy(RetryPolicy{Budget: time.Minute}))
+	st, err := c.SubmitSearch(context.Background(), []byte(`{}`), SearchOpts{Reps: 2, Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "s000001" || !st.Terminal() || st.Evaluations != 7 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Incumbent == nil || st.Incumbent.Value != 3e6 || !st.Incumbent.Feasible {
+		t.Fatalf("incumbent %+v", st.Incumbent)
+	}
+	if len(delays) != 2 || delays[0] != time.Second || delays[1] != time.Second {
+		t.Fatalf("sleeps %v, want two 1s waits from Retry-After", delays)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("%d submissions, want 3", n)
+	}
+}
+
+func TestSubmitSearchBadSpecFailsFast(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error": "spec has no search block; submit plain specs to /v1/jobs or /v1/groups"}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays))
+	_, err := c.SubmitSearch(context.Background(), []byte(`{}`), SearchOpts{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadRequest {
+		t.Fatalf("error %v, want the 400 APIError", err)
+	}
+	if hits.Load() != 1 || len(delays) != 0 {
+		t.Fatalf("%d requests, %v sleeps — a 400 must not retry", hits.Load(), delays)
+	}
+}
+
+func TestWaitSearchPollsToTerminal(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/searches/s000003" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		state := "running"
+		if hits.Add(1) >= 3 {
+			state = "done"
+		}
+		w.Write([]byte(`{"id": "s000003", "state": "` + state + `"}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, recordingSleep(&delays))
+	st, err := c.WaitSearch(context.Background(), "s000003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || !st.Terminal() {
+		t.Fatalf("status %+v", st)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("polled with %d sleeps, want 2", len(delays))
+	}
+}
+
+func TestSearchResultAndTrajectory(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/searches/s000004/result" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("csv") == "trajectory" {
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			w.Write([]byte("round,reps,evaluations,pruned,incumbent,value,objective\n1,1,2,1,x-p42,3e+06,0.5\n"))
+			return
+		}
+		w.Write([]byte(`{"name": "x", "rounds": []}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	doc, err := c.SearchResult(context.Background(), "s000004", "")
+	if err != nil || string(doc) != `{"name": "x", "rounds": []}` {
+		t.Fatalf("result %s, %v", doc, err)
+	}
+	csv, err := c.SearchResult(context.Background(), "s000004", "trajectory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "round,reps,evaluations,pruned,incumbent,value,objective\n"; len(csv) == 0 || string(csv[:len(want)]) != want {
+		t.Fatalf("trajectory %s", csv)
+	}
+}
+
+func TestCancelSearchDecodesStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodDelete || r.URL.Path != "/v1/searches/s000005" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write([]byte(`{"id": "s000005", "state": "cancelled"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	st, err := c.CancelSearch(context.Background(), "s000005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "cancelled" || !st.Terminal() {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestSearchesLists(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/searches" || r.Method != http.MethodGet {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write([]byte(`[{"id": "s000001", "state": "done"}, {"id": "s000002", "state": "running"}]`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	sts, err := c.Searches(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 || sts[0].ID != "s000001" || sts[1].State != "running" {
+		t.Fatalf("list %+v", sts)
+	}
+}

@@ -40,6 +40,23 @@ import (
 //	                               byte-identical to the files
 //	                               `scda-bench -scenario-dir` writes
 //	GET    /v1/groups/{id}/events  NDJSON group lifecycle stream
+//	POST   /v1/searches            submit a spec *with* a search block: the
+//	                               service compiles it into an adaptive
+//	                               optimization and drives rounds of
+//	                               variants through the group machinery
+//	                               (query: reps, priority, wait=true)
+//	GET    /v1/searches            list search statuses in submission order
+//	GET    /v1/searches/{id}       one search's status (rounds so far,
+//	                               evaluations, cache hits, incumbent)
+//	DELETE /v1/searches/{id}       cancel: no further rounds, and the
+//	                               in-flight round's jobs are cancelled
+//	GET    /v1/searches/{id}/result  the completed search: incumbent +
+//	                               canonical incumbent spec + per-round
+//	                               table (JSON), or ?csv=trajectory for
+//	                               the round-by-round incumbent CSV —
+//	                               both byte-identical across identical
+//	                               resubmitted searches
+//	GET    /v1/searches/{id}/events  NDJSON round-by-round progress stream
 //	GET    /healthz                liveness
 //	GET    /readyz                 readiness: 503 while draining or while
 //	                               the queue is past the latency SLO
@@ -75,6 +92,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/groups", s.handleGroups)
 	mux.HandleFunc("/v1/groups/", s.handleGroup)
+	mux.HandleFunc("/v1/searches", s.handleSearches)
+	mux.HandleFunc("/v1/searches/", s.handleSearch)
 	if s.chaos == nil {
 		return mux
 	}

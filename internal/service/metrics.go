@@ -31,6 +31,17 @@ type metrics struct {
 	groupsFailed    atomic.Int64 // counter: groups with a failed variant or submission
 	groupsCancelled atomic.Int64 // counter: groups cancelled before completing
 
+	// Search families, rendered only once a search has been submitted so
+	// the established exposition stays byte-stable on services that never
+	// run one.
+	searchesSubmitted atomic.Int64 // counter: searches accepted (also the render gate)
+	searchesActive    atomic.Int64 // gauge: searches not yet terminal
+	searchesDone      atomic.Int64 // counter: searches that converged or exhausted budgets
+	searchesFailed    atomic.Int64 // counter: searches that failed
+	searchesCancelled atomic.Int64 // counter: searches cancelled before completing
+	searchRounds      atomic.Int64 // counter: completed search rounds
+	searchPruned      atomic.Int64 // counter: variants pruned from contention
+
 	// Coordinator-mode families, rendered only when the service has a
 	// ring so the single-node exposition stays byte-stable.
 	ringForwards  atomic.Int64 // counter: submissions forwarded to their owning peer
@@ -83,6 +94,17 @@ func (m *metrics) writeTo(w io.Writer, poolWorkers, jobRunners, cacheEntries, di
 	gauge("scda_job_runners", "Job runner goroutines (the job-level concurrency bound).", int64(jobRunners))
 	gauge("scda_job_runners_busy", "Job runners currently executing a job; busy/total is worker utilization.", m.jobsRunning.Load())
 	gauge("scda_pool_workers", "Replicate fan-out pool width shared by all jobs.", int64(poolWorkers))
+
+	if m.searchesSubmitted.Load() > 0 {
+		gauge("scda_searches_active", "Adaptive searches not yet in a terminal state.", m.searchesActive.Load())
+		fmt.Fprintf(w, "# HELP scda_searches_done_total Adaptive searches that reached a terminal state, by state.\n")
+		fmt.Fprintf(w, "# TYPE scda_searches_done_total counter\n")
+		fmt.Fprintf(w, "scda_searches_done_total{state=\"done\"} %d\n", m.searchesDone.Load())
+		fmt.Fprintf(w, "scda_searches_done_total{state=\"failed\"} %d\n", m.searchesFailed.Load())
+		fmt.Fprintf(w, "scda_searches_done_total{state=\"cancelled\"} %d\n", m.searchesCancelled.Load())
+		counter("scda_search_rounds_total", "Completed adaptive-search rounds.", m.searchRounds.Load())
+		counter("scda_search_variants_pruned_total", "Search variants pruned from contention.", m.searchPruned.Load())
+	}
 
 	if peers == nil {
 		return

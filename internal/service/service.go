@@ -90,6 +90,11 @@ type Config struct {
 	// expand to (0 = 256), so a hostile or typo'd sweep cannot enqueue
 	// unbounded work in one request.
 	MaxGroupVariants int
+	// SearchHistory bounds the search ledger (0 = 256): once exceeded,
+	// the oldest terminal searches are forgotten — their IDs 404. Active
+	// searches are never evicted, and the child jobs a search ran remain
+	// subject to the job and group ledger bounds independently.
+	SearchHistory int
 	// SLO is the target queueing latency for admission control: an HTTP
 	// submission predicted to wait longer than this (EWMA job cost ×
 	// queue depth at-or-above its priority / runners) is rejected with
@@ -157,13 +162,16 @@ type Service struct {
 
 	draining atomic.Bool // set at Close: journal entries are retained, /readyz is unready
 
-	mu          sync.Mutex
-	jobs        map[string]*Job
-	order       []string // submission order, for the list endpoint
-	nextID      int
-	groups      map[string]*JobGroup
-	groupOrder  []string // group submission order, for the list endpoint
-	nextGroupID int
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	order        []string // submission order, for the list endpoint
+	nextID       int
+	groups       map[string]*JobGroup
+	groupOrder   []string // group submission order, for the list endpoint
+	nextGroupID  int
+	searches     map[string]*SearchJob
+	searchOrder  []string // search submission order, for the list endpoint
+	nextSearchID int
 
 	cacheMu   sync.Mutex
 	cacheKeys []string // completed-entry FIFO backing CacheEntries eviction
@@ -210,6 +218,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxGroupVariants <= 0 {
 		cfg.MaxGroupVariants = 256
 	}
+	if cfg.SearchHistory <= 0 {
+		cfg.SearchHistory = 256
+	}
 	if cfg.HeartbeatInterval == 0 {
 		cfg.HeartbeatInterval = 15 * time.Second
 	}
@@ -222,6 +233,7 @@ func New(cfg Config) *Service {
 		chaos:     cfg.Chaos,
 		jobs:      make(map[string]*Job),
 		groups:    make(map[string]*JobGroup),
+		searches:  make(map[string]*SearchJob),
 		cacheSeen: make(map[string]bool),
 	}
 	if cfg.CacheDir != "" {
@@ -346,6 +358,9 @@ func (s *Service) Submit(spec *scenario.Spec, reps, priority int) (*Job, error) 
 func (s *Service) SubmitWithDeadline(spec *scenario.Spec, reps, priority int, deadline time.Time) (*Job, error) {
 	if spec.Sweep != nil {
 		return nil, ErrSweep
+	}
+	if spec.Search != nil {
+		return nil, ErrSearch
 	}
 	return s.submit(spec, reps, priority, deadline, nil)
 }
@@ -584,6 +599,9 @@ func (s *Service) SubmitGroupWithDeadline(name string, specs []*scenario.Spec, r
 	for _, spec := range specs {
 		if spec.Sweep != nil {
 			return nil, ErrSweep
+		}
+		if spec.Search != nil {
+			return nil, ErrSearch
 		}
 		if err := spec.Validate(); err != nil {
 			return nil, err

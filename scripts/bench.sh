@@ -13,7 +13,9 @@
 # its scaling at 100k; BenchmarkServiceSubmitCached is the scda-serve
 # cache hot path (HTTP submit of an already-cached spec, no simulation),
 # BenchmarkServiceGroupSubmitCached its job-group counterpart (a sweep
-# expanded server-side, every variant a cache hit), and
+# expanded server-side, every variant a cache hit),
+# BenchmarkServiceSearchCached the adaptive-search replay (a full search
+# converging purely from cached evaluations), and
 # BenchmarkServiceSubmitShed the admission-control rejection fast path (a
 # server pinned into overload answering 429 before reading the body);
 # BenchmarkAllFiguresSerial is the end-to-end figure suite at bench scale.
@@ -28,7 +30,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkChurn|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached|BenchmarkServiceSubmitShed' \
+    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkChurn|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached|BenchmarkServiceSearchCached|BenchmarkServiceSubmitShed' \
     -benchmem ./internal/sim ./internal/flowsim ./internal/netsim ./internal/service | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkAllFiguresSerial' -benchtime=1x -benchmem . | tee -a "$tmp"
 

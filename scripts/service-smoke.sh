@@ -10,11 +10,15 @@
 # power-save sweep spec, submits the same spec to /v1/groups, and
 # byte-diffs the group's aggregate CSVs against the bench's per-variant
 # files concatenated in expansion order; a second group submission must be
-# all cache hits. Finally the fluid-engine leg: the same submit/poll/diff
+# all cache hits. Then the fluid-engine leg: the same submit/poll/diff
 # cycle over an "engine": "fluid" spec, proving the service serves fluid
 # results byte-identical to the CLI with zero service-layer special
-# casing. CI runs this as the service-smoke job; it needs only curl,
-# grep, sed and diff beyond the go toolchain.
+# casing. Finally the adaptive-search leg: submits the shipped
+# power-save-search spec to /v1/searches twice and asserts the second run
+# is a pure cache replay — every evaluation a cache hit, not one new
+# simulation computed, and a byte-identical trajectory CSV. CI runs this
+# as the service-smoke job; it needs only curl, grep, sed and diff beyond
+# the go toolchain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -171,5 +175,49 @@ for kind in summary throughput fct-cdf afct; do
     diff "$tmp/cli/fluid-smoke-$kind.csv" "$tmp/srv-fluid-$kind.csv" \
         || { echo "MISMATCH: fluid $kind differs between service and CLI"; exit 1; }
 done
+
+# The adaptive-search leg: the shipped constrained search runs its rounds
+# as ordinary job groups, so a second identical submission replays the
+# whole trajectory from the cache without simulating anything.
+sspec=scenarios/power-save-search.json
+
+echo "== submitting $sspec to /v1/searches"
+sresp="$(curl -fsS -X POST --data-binary @"$sspec" "$base/v1/searches")"
+sid="$(printf '%s' "$sresp" | grep -m1 '"id"' | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$sid" ] || { echo "no search id in response: $sresp"; exit 1; }
+echo "   search $sid"
+
+echo "== polling search to completion"
+sstate=""
+for _ in $(seq 240); do
+    sstate="$(curl -fsS "$base/v1/searches/$sid" | grep -m1 '"state"' | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+    case "$sstate" in
+        done) break ;;
+        failed|cancelled) echo "search ended $sstate"; curl -fsS "$base/v1/searches/$sid"; exit 1 ;;
+    esac
+    sleep 0.5
+done
+[ "$sstate" = done ] || { echo "search still '$sstate' after timeout"; exit 1; }
+curl -fsS "$base/v1/searches/$sid/result?csv=trajectory" > "$tmp/traj1.csv"
+grep -q '^round,' "$tmp/traj1.csv" || { echo "trajectory CSV has no header"; exit 1; }
+misses_after_search="$(curl -fsS "$base/metrics" | sed -n 's/^scda_cache_misses_total \([0-9]*\)$/\1/p')"
+
+echo "== re-submitting the search: must be a pure cache replay"
+sresp2="$(curl -fsS -X POST --data-binary @"$sspec" "$base/v1/searches?wait=true")"
+sid2="$(printf '%s' "$sresp2" | grep -m1 '"id"' | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+evals2="$(printf '%s' "$sresp2" | sed -n 's/.*"evaluations": *\([0-9]*\).*/\1/p')"
+hits2="$(printf '%s' "$sresp2" | sed -n 's/.*"cacheHits": *\([0-9]*\).*/\1/p')"
+[ -n "$evals2" ] && [ "$evals2" -gt 0 ] && [ "$hits2" = "$evals2" ] \
+    || { echo "replayed search was not fully cached: $sresp2"; exit 1; }
+misses_after_replay="$(curl -fsS "$base/metrics" | sed -n 's/^scda_cache_misses_total \([0-9]*\)$/\1/p')"
+[ "$misses_after_replay" = "$misses_after_search" ] \
+    || { echo "replay computed fresh work: misses $misses_after_search -> $misses_after_replay"; exit 1; }
+curl -fsS "$base/v1/searches/$sid2/result?csv=trajectory" > "$tmp/traj2.csv"
+diff "$tmp/traj1.csv" "$tmp/traj2.csv" \
+    || { echo "MISMATCH: replayed trajectory differs"; exit 1; }
+curl -fsS "$base/metrics" | grep -E '^scda_search_rounds_total [1-9]' >/dev/null \
+    || { echo "metrics did not record the search rounds"; exit 1; }
+curl -fsS "$base/metrics" | grep -E '^scda_searches_done_total\{state="done"\} 2' >/dev/null \
+    || { echo "metrics did not record both finished searches"; exit 1; }
 
 echo "service smoke OK"
