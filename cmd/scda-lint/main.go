@@ -1,0 +1,99 @@
+// Command scda-lint runs the repo's static-analysis suite: five stdlib-only
+// analyzers enforcing the determinism, 0-alloc, lock-order and godoc
+// contracts the codebase promises (see internal/lint and the "Static
+// guarantees" section of ARCHITECTURE.md).
+//
+// Usage:
+//
+//	scda-lint [flags] [packages]
+//
+//	scda-lint ./...                        lint the whole module
+//	scda-lint -analyzers wallclock ./...   run one analyzer
+//	scda-lint -list                        describe the analyzers
+//
+// Findings print as "file:line: [analyzer] message" with paths relative to
+// the module root. Exit status: 0 clean, 1 findings, 2 load/usage error.
+// The committed baseline (scripts/lint-baseline.txt, override with
+// -baseline) suppresses deliberately-exempt findings by their
+// line-number-free key; stale baseline entries are warned about on stderr
+// so the file cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "scripts/lint-baseline.txt", "baseline file (module-root-relative); missing file = empty baseline")
+		analyzersCSV = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list         = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *analyzersCSV != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*analyzersCSV, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "scda-lint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scda-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scda-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+
+	bl, err := lint.LoadBaseline(filepath.Join(loader.ModuleRoot, filepath.FromSlash(*baselinePath)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scda-lint: %v\n", err)
+		os.Exit(2)
+	}
+	kept := bl.Filter(findings)
+	for _, e := range bl.Stale() {
+		fmt.Fprintf(os.Stderr, "scda-lint: stale baseline entry (matched nothing): %s\n", e)
+	}
+	for _, f := range kept {
+		fmt.Println(f)
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "scda-lint: %d finding(s)\n", len(kept))
+		os.Exit(1)
+	}
+}

@@ -110,6 +110,8 @@ const satEps = 1e-12
 // Every active flow is assigned a rate; flows that traverse only
 // unconstrained links keep rate 0, exactly as the map-based implementation
 // did.
+//
+//scda:noalloc guarded by the AllocsPerRun checks in flowsim_test.go
 func (sv *Solver) Solve(flows []*Flow, capacities []float64) {
 	sv.ensure(len(capacities))
 	sv.epoch++
@@ -141,6 +143,8 @@ func (sv *Solver) Solve(flows []*Flow, capacities []float64) {
 // saturation tolerance, the freeze order, the subtract-with-clamp — is the
 // contract the incremental solver reproduces bit for bit (see
 // incremental.go).
+//
+//scda:noalloc
 func (sv *Solver) fill(flows []*Flow, ep uint64, remaining int, cand []int32) []int32 {
 	for remaining > 0 {
 		// most constrained link: min cap/weight among links with demand.
@@ -286,6 +290,8 @@ func (s *Simulator) PeakActive() int { return s.peakActive }
 
 // AcquireFlow returns a zeroed Flow, recycling one retired by Reset when
 // available, so a reused Simulator admits flows without allocating.
+//
+//scda:noalloc warm path: a drained free list falls back to one pooled &Flow{}
 func (s *Simulator) AcquireFlow() *Flow {
 	if n := len(s.free); n > 0 {
 		f := s.free[n-1]
@@ -318,6 +324,9 @@ func (s *Simulator) Reset() {
 	s.peakActive = 0
 }
 
+// recycle zeroes a retired flow into the AcquireFlow free list.
+//
+//scda:noalloc steady state: the free-list append is amortized pool growth
 func (s *Simulator) recycle(f *Flow) {
 	*f = Flow{}
 	s.free = append(s.free, f)
@@ -344,6 +353,8 @@ func (s *Simulator) AddFlow(at float64, f *Flow) error {
 }
 
 // Run advances until all flows complete or the horizon is reached.
+//
+//scda:noalloc guarded by the AllocsPerRun checks in incremental_test.go
 func (s *Simulator) Run(horizon float64) {
 	for {
 		nextArr := math.Inf(1)
@@ -409,6 +420,8 @@ func (s *Simulator) Run(horizon float64) {
 
 // materializeAll brings every active flow's Size up to time t (used when a
 // Run returns at the horizon, so callers observe consistent sizes).
+//
+//scda:noalloc
 func (s *Simulator) materializeAll(t float64) {
 	for _, f := range s.inc.flows {
 		if dt := t - f.updT; dt > 0 {
@@ -420,6 +433,8 @@ func (s *Simulator) materializeAll(t float64) {
 
 // peekCompletion returns the earliest valid completion time, discarding
 // stale heap entries (superseded by a rate change, or already done).
+//
+//scda:noalloc
 func (s *Simulator) peekCompletion() float64 {
 	for len(s.comp) > 0 {
 		e := s.comp[0]
@@ -435,6 +450,7 @@ func (s *Simulator) peekCompletion() float64 {
 // allocation per event), shallower than binary, and entries are plain
 // values in reused backing arrays.
 
+//scda:noalloc steady state: the heap append is amortized pool growth
 func (s *Simulator) pushArrival(a arrival) {
 	s.pending = append(s.pending, a)
 	i := len(s.pending) - 1
@@ -448,6 +464,7 @@ func (s *Simulator) pushArrival(a arrival) {
 	}
 }
 
+//scda:noalloc
 func (s *Simulator) popArrival() arrival {
 	h := s.pending
 	top := h[0]
@@ -479,6 +496,7 @@ func arrivalLess(a, b arrival) bool {
 	return a.seq < b.seq
 }
 
+//scda:noalloc steady state: the heap append is amortized pool growth
 func (s *Simulator) pushCompletion(e compEnt) {
 	// Rate changes supersede completion entries via ver, leaving stale
 	// garbage in the heap. Entries far past the horizon never reach the
@@ -513,6 +531,7 @@ func (s *Simulator) pushCompletion(e compEnt) {
 	}
 }
 
+//scda:noalloc
 func (s *Simulator) popCompletion() compEnt {
 	h := s.comp
 	top := h[0]
@@ -523,6 +542,7 @@ func (s *Simulator) popCompletion() compEnt {
 	return top
 }
 
+//scda:noalloc
 func (s *Simulator) siftComp(i int) {
 	h := s.comp
 	n := len(h)

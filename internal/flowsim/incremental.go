@@ -210,6 +210,8 @@ func (in *Incremental) Remove(f *Flow) error {
 // allocation. On error nothing is changed. Duplicate adds, removes of
 // non-active flows, and flows appearing twice across the two lists are
 // rejected.
+//
+//scda:noalloc steady state: the flow/occupied-link appends are amortized pool growth
 func (in *Incremental) Apply(add, remove []*Flow) error {
 	if err := in.validate(add, remove); err != nil {
 		return err
@@ -269,9 +271,12 @@ func (in *Incremental) Apply(add, remove []*Flow) error {
 // lists' |pos| order is intact) from link l's flow list, re-sums the
 // link's weight in list order, and retires the link from the occupied set
 // when its list empties.
+//
+//scda:noalloc
 func (in *Incremental) unlink(l int32, pos int) {
 	fl := in.linkFl[l]
 	// claimed flows carry negated pos, so compare magnitudes
+	//scda:alloc-ok the sort.Search predicate does not escape; the compiler keeps it on the stack (0 B/op per the alloc guards)
 	i := sort.Search(len(fl), func(i int) bool {
 		p := fl[i].pos
 		if p < 0 {
@@ -343,6 +348,8 @@ func (in *Incremental) validate(add, remove []*Flow) error {
 
 // repair re-establishes the exact max-min allocation after the flow list
 // changed: replay clean recorded rounds, recompute perturbed ones.
+//
+//scda:noalloc
 func (in *Incremental) repair() {
 	sv := in.sv
 	me := in.markEpoch
@@ -443,6 +450,8 @@ func (in *Incremental) repair() {
 // link clean, and every dirty link's share clear of the round's share by
 // replayMargin (shares are non-decreasing within a repair, so this holds
 // through the round's own subtractions too).
+//
+//scda:noalloc
 func (in *Incremental) replayable(r int, ep uint64, me uint64) bool {
 	span, sat := in.cur.spans(r)
 	for _, f := range span {
@@ -461,6 +470,8 @@ func (in *Incremental) replayable(r int, ep uint64, me uint64) bool {
 // dirtyMin returns the minimum current share among live dirty links,
 // repairing stale heap entries on the way (stale keys under-estimate, so
 // they are popped and re-pushed with the current share).
+//
+//scda:noalloc
 func (in *Incremental) dirtyMin(me uint64) float64 {
 	sv := in.sv
 	for len(in.dirt) > 0 {
@@ -489,6 +500,8 @@ func (in *Incremental) dirtyMin(me uint64) float64 {
 // arising mid-round admits the affected link's later-positioned flows
 // into the pass. Flows frozen here dirty their paths. Returns false when
 // no live link remains.
+//
+//scda:noalloc
 func (in *Incremental) realRound(ep, me uint64, remaining *int) bool {
 	sv := in.sv
 	minShare, argmin, ok := in.liveMin()
@@ -579,6 +592,8 @@ func (in *Incremental) realRound(ep, me uint64, remaining *int) bool {
 // liveMin peeks the live-link heap, lazily discarding drained links and
 // re-keying entries whose share moved since they were pushed, and returns
 // the current global minimum share with its link.
+//
+//scda:noalloc
 func (in *Incremental) liveMin() (float64, int32, bool) {
 	sv := in.sv
 	for len(in.liveH) > 0 {
@@ -603,11 +618,14 @@ func (in *Incremental) liveMin() (float64, int32, bool) {
 // pos > afterPos to the candidate heap. Flows at or before afterPos were
 // already passed by this round's scan, so admitting them would freeze
 // flows the full solve's single ordered pass had already skipped.
+//
+//scda:noalloc
 func (in *Incremental) admitSat(l int32, afterPos int) {
 	in.satStamp[l] = in.roundID
 	fl := in.linkFl[l]
 	i := 0
 	if afterPos > 0 {
+		//scda:alloc-ok the sort.Search predicate does not escape; the compiler keeps it on the stack (0 B/op per the alloc guards)
 		i = sort.Search(len(fl), func(i int) bool { return fl[i].pos > afterPos })
 	}
 	for ; i < len(fl); i++ {
@@ -617,6 +635,7 @@ func (in *Incremental) admitSat(l int32, afterPos int) {
 
 // Candidate min-heap by flow position (binary; entries are few per round).
 
+//scda:noalloc steady state: the heap append is amortized pool growth
 func (in *Incremental) pushCand(f *Flow) {
 	h := append(in.candH, f)
 	i := len(h) - 1
@@ -631,6 +650,7 @@ func (in *Incremental) pushCand(f *Flow) {
 	in.candH = h
 }
 
+//scda:noalloc
 func (in *Incremental) popCand() *Flow {
 	h := in.candH
 	top := h[0]
@@ -659,6 +679,7 @@ func (in *Incremental) popCand() *Flow {
 
 // Dirty-link min-heap by pushed share.
 
+//scda:noalloc steady state: the heap append is amortized pool growth
 func (in *Incremental) pushDirt(e dirtEnt) {
 	h := append(in.dirt, e)
 	i := len(h) - 1
@@ -673,6 +694,7 @@ func (in *Incremental) pushDirt(e dirtEnt) {
 	in.dirt = h
 }
 
+//scda:noalloc
 func (in *Incremental) popDirt() {
 	h := in.dirt
 	n := len(h) - 1
@@ -698,6 +720,7 @@ func (in *Incremental) popDirt() {
 
 // Live-link min-heap by share (lazy; see liveMin).
 
+//scda:noalloc steady state: the heap append is amortized pool growth
 func (in *Incremental) pushLive(e dirtEnt) {
 	h := append(in.liveH, e)
 	i := len(h) - 1
@@ -712,6 +735,7 @@ func (in *Incremental) pushLive(e dirtEnt) {
 	in.liveH = h
 }
 
+//scda:noalloc
 func (in *Incremental) popLive() {
 	h := in.liveH
 	n := len(h) - 1
@@ -720,6 +744,7 @@ func (in *Incremental) popLive() {
 	in.siftLive(0)
 }
 
+//scda:noalloc
 func (in *Incremental) siftLive(i int) {
 	h := in.liveH
 	n := len(h)

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed list of deliberately-exempt findings
+// (scripts/lint-baseline.txt). Entries are line-number-free —
+// "file: [analyzer] message" — so they survive unrelated edits; blank lines
+// and #-comments are ignored. The goal is to keep the file empty: prefer a
+// //scda:*-ok annotation at the site (visible in the code, carries a
+// reason) and reserve the baseline for findings that cannot host one.
+type Baseline struct {
+	entries map[string]bool
+	used    map[string]bool
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: map[string]bool{}, used: map[string]bool{}}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line] = true
+	}
+	return b, sc.Err()
+}
+
+// Filter splits findings into the ones not covered by the baseline (kept)
+// and marks matched entries as used.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	var kept []Finding
+	for _, f := range findings {
+		key := f.BaselineKey()
+		if b.entries[key] {
+			b.used[key] = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// Stale returns baseline entries that matched nothing — candidates for
+// deletion, reported as warnings so the file cannot rot.
+func (b *Baseline) Stale() []string {
+	var out []string
+	for e := range b.entries {
+		if !b.used[e] {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

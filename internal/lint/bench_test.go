@@ -1,0 +1,23 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintSelf measures a cold end-to-end lint of the lint package
+// itself — loader construction, parsing, full type-check (including the
+// transitively imported stdlib export data) and all five analyzers — the
+// cost one package contributes to the CI lint step.
+func BenchmarkLintSelf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.Load("./internal/lint")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings := Run(pkgs, Analyzers()); len(findings) != 0 {
+			b.Fatalf("lint package has findings: %v", findings)
+		}
+	}
+}

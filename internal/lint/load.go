@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the parsed non-test files
+// plus the go/types artifacts every analyzer consumes. Test files are
+// deliberately excluded — the contracts scda-lint enforces are about
+// production decision paths, and tests legitimately use wall clocks,
+// fmt and ad-hoc map iteration.
+type Package struct {
+	// Path is the import path ("repro/internal/sim").
+	Path string
+	// Dir is the absolute directory the files were parsed from.
+	Dir string
+	// Fset is the file set shared by every package one Loader produced.
+	Fset *token.FileSet
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the use/def/type maps for the files.
+	Info *types.Info
+
+	loader *Loader
+	dirs   map[*ast.File]map[int][]directive // lazily built directive index
+}
+
+// relFile returns filename relative to the module root, with forward
+// slashes, so findings and baseline entries are machine-independent.
+func (p *Package) relFile(filename string) string {
+	if p.loader != nil {
+		if rel, err := filepath.Rel(p.loader.ModuleRoot, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// astFile returns the parsed file containing pos.
+func (p *Package) astFile(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// fileDirectives returns (building on first use) the //scda: comment index
+// for one file.
+func (p *Package) fileDirectives(f *ast.File) map[int][]directive {
+	if p.dirs == nil {
+		p.dirs = map[*ast.File]map[int][]directive{}
+	}
+	d, ok := p.dirs[f]
+	if !ok {
+		d = directivesByLine(p.Fset, f)
+		p.dirs[f] = d
+	}
+	return d
+}
+
+// Loader parses and type-checks packages of the enclosing module without
+// any dependency outside the standard library. Imports inside the module
+// are resolved recursively from source; standard-library imports come from
+// the compiler's export data via go/importer.
+type Loader struct {
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod ("repro").
+	ModulePath string
+
+	fset *token.FileSet
+	pkgs map[string]*Package // memo, by import path
+	std  types.Importer
+}
+
+// NewLoader locates the module enclosing dir (walking up to the go.mod) and
+// returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       token.NewFileSet(),
+		pkgs:       map[string]*Package{},
+		std:        importer.Default(),
+	}, nil
+}
+
+// Load resolves "./dir" and "./dir/..." patterns against the module root
+// and returns the matched packages, type-checked, sorted by import path.
+// A bare "." loads the root package.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.resolveDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.ModulePath
+		if rel != "." {
+			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.loadPath(importPath)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory under the given import
+// path, without pattern resolution or memoization — the entry point the
+// fixture tests use to lint testdata packages under synthetic paths.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(abs, importPath)
+}
+
+// resolveDirs expands the patterns into package directories (directories
+// containing at least one non-test .go file), skipping hidden and testdata
+// trees.
+func (l *Loader) resolveDirs(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	addIfPkg := func(dir string) error {
+		if seen[dir] {
+			return nil
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+				return nil
+			}
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "" || pat == "./" {
+			pat = "."
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(l.ModuleRoot, pat)
+		}
+		if !rec {
+			if err := addIfPkg(filepath.Clean(root)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if name := d.Name(); path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return addIfPkg(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loadPath loads (memoized) the package at an import path inside the
+// module. It returns (nil, nil) for a directory with no non-test Go files.
+func (l *Loader) loadPath(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	rel := strings.TrimPrefix(importPath, l.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	p, err := l.check(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// check parses dir's non-test files and type-checks them as importPath.
+func (l *Loader) check(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := cfg.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:   importPath,
+		Dir:    dir,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
+	}, nil
+}
+
+// loaderImporter adapts the loader to types.Importer: module-internal paths
+// are type-checked from source, everything else is delegated to the
+// standard-library importer.
+type loaderImporter Loader
+
+// Import resolves one import path during type checking.
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("lint: import %q matches no Go files", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

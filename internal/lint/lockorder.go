@@ -1,0 +1,470 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockorderAnalyzer enforces a declared mutex-acquisition order via a
+// per-struct acquisition call-graph walk. A package opts in with a
+// package-level directive naming its ranked mutexes in acquisition order:
+//
+//	//scda:lockorder Service.mu Job.mu JobGroup.mu
+//
+// meaning a Service.mu holder may acquire Job.mu, and a Job.mu holder may
+// acquire JobGroup.mu — but never the other way around, and never a second
+// mutex of the same rank (two Jobs' mus nest-deadlock just as surely).
+// This is exactly the internal/service hierarchy: Submit completes a
+// cache-hit job while holding s.mu (s.mu → j.mu), and a job event fans out
+// to its group while j.mu is held (j.mu → g.mu), so no JobGroup method may
+// call back into a Job or the Service while holding g.mu.
+//
+// The walk tracks, statement by statement, which ranked mutexes are held
+// (x.mu.Lock()/Unlock(), RLock/RUnlock, and defer-Unlock all understood),
+// and at every call made while holding, consults the callee's transitive
+// acquisition set (a fixpoint over the package's call graph) — so an
+// inversion hidden two helpers deep is still reported at the call site that
+// commits it. Function literals run in their own context (a spawned
+// goroutine does not inherit the caller's locks). A deliberate exception
+// carries //scda:lockorder-ok <reason>.
+//
+// Packages without a //scda:lockorder directive are not checked. Multiple
+// directives declare independent chains; only mutexes in the same chain
+// are ordered against each other.
+func LockorderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "enforces the declared //scda:lockorder mutex-acquisition order",
+		Run:  runLockorder,
+	}
+}
+
+// rankedMutex is one entry of a //scda:lockorder chain.
+type rankedMutex struct {
+	recv  *types.Named // the struct type owning the mutex field
+	field string       // the mutex field name ("mu")
+	chain int          // directive index: ordering applies within a chain
+	rank  int          // position in the chain, ascending acquisition order
+	label string       // display name ("Job.mu")
+}
+
+// lockorderState carries everything one package's walk needs.
+type lockorderState struct {
+	p       *Package
+	ranked  []*rankedMutex
+	acquire map[*types.Func]map[*rankedMutex]bool // transitive acquisition sets
+	callees map[*types.Func][]*types.Func
+	bodies  map[*types.Func]*ast.FuncDecl
+}
+
+func runLockorder(p *Package) []Finding {
+	ranked, findings := p.lockorderDirectives()
+	if len(ranked) == 0 {
+		return findings
+	}
+	st := &lockorderState{
+		p:       p,
+		ranked:  ranked,
+		acquire: map[*types.Func]map[*rankedMutex]bool{},
+		callees: map[*types.Func][]*types.Func{},
+		bodies:  map[*types.Func]*ast.FuncDecl{},
+	}
+	st.buildCallGraph()
+	st.fixpointAcquire()
+	for _, fd := range st.declsInOrder() {
+		findings = st.walkFunc(findings, fd)
+	}
+	return findings
+}
+
+// lockorderDirectives parses every //scda:lockorder directive in the
+// package into ranked mutexes; malformed entries become findings.
+func (p *Package) lockorderDirectives() ([]*rankedMutex, []Finding) {
+	var ranked []*rankedMutex
+	var findings []Finding
+	chain := 0
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "scda:lockorder ")
+				if !ok {
+					continue
+				}
+				entries := strings.Fields(rest)
+				if len(entries) < 2 {
+					findings = p.report(findings, "lockorder", "", c.Pos(),
+						"//scda:lockorder needs at least two Type.field entries")
+					continue
+				}
+				bad := false
+				var parsed []*rankedMutex
+				for rank, entry := range entries {
+					typeName, fieldName, ok := strings.Cut(entry, ".")
+					if !ok {
+						findings = p.report(findings, "lockorder", "", c.Pos(),
+							"//scda:lockorder entry %q is not Type.field", entry)
+						bad = true
+						break
+					}
+					obj := p.Types.Scope().Lookup(typeName)
+					named, _ := objNamed(obj)
+					if named == nil {
+						findings = p.report(findings, "lockorder", "", c.Pos(),
+							"//scda:lockorder names unknown type %q", typeName)
+						bad = true
+						break
+					}
+					if !structHasField(named, fieldName) {
+						findings = p.report(findings, "lockorder", "", c.Pos(),
+							"//scda:lockorder: type %s has no field %q", typeName, fieldName)
+						bad = true
+						break
+					}
+					parsed = append(parsed, &rankedMutex{
+						recv: named, field: fieldName, chain: chain, rank: rank,
+						label: typeName + "." + fieldName,
+					})
+				}
+				if !bad {
+					ranked = append(ranked, parsed...)
+					chain++
+				}
+			}
+		}
+	}
+	return ranked, findings
+}
+
+// objNamed unwraps a scope object to its named type.
+func objNamed(obj types.Object) (*types.Named, bool) {
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, false
+	}
+	named, ok := tn.Type().(*types.Named)
+	return named, ok
+}
+
+// structHasField reports whether the named type's underlying struct has a
+// field with the given name.
+func structHasField(named *types.Named, field string) bool {
+	s, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		if s.Field(i).Name() == field {
+			return true
+		}
+	}
+	return false
+}
+
+// declsInOrder returns the package's function declarations in source order.
+func (st *lockorderState) declsInOrder() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range st.p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// buildCallGraph records, for every function in the package, its direct
+// ranked-mutex acquisitions and its same-package callees.
+func (st *lockorderState) buildCallGraph() {
+	for _, fd := range st.declsInOrder() {
+		fn, ok := st.p.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		st.bodies[fn] = fd
+		acq := map[*rankedMutex]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, op := st.lockCall(call); m != nil && (op == "Lock" || op == "RLock") {
+				acq[m] = true
+			}
+			if callee := st.sameePackageCallee(call); callee != nil {
+				st.callees[fn] = append(st.callees[fn], callee)
+			}
+			return true
+		})
+		st.acquire[fn] = acq
+	}
+}
+
+// fixpointAcquire closes the acquisition sets over the call graph: a
+// function "may acquire" every mutex any of its (transitive) callees may
+// acquire while it runs.
+func (st *lockorderState) fixpointAcquire() {
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range st.callees {
+			for _, callee := range callees {
+				for m := range st.acquire[callee] {
+					if !st.acquire[fn][m] {
+						st.acquire[fn][m] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockCall matches x.<field>.Lock/Unlock/RLock/RUnlock() where x's type is
+// a ranked struct and <field> its ranked mutex, returning the mutex and the
+// method name.
+func (st *lockorderState) lockCall(call *ast.CallExpr) (*rankedMutex, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	tv, ok := st.p.Info.Types[inner.X]
+	if !ok {
+		return nil, ""
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	for _, m := range st.ranked {
+		if m.recv == named && inner.Sel.Name == m.field {
+			return m, op
+		}
+	}
+	return nil, ""
+}
+
+// sameePackageCallee resolves a direct call to a function or method defined
+// in this package (the only edges the acquisition fixpoint can follow).
+func (st *lockorderState) sameePackageCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := st.p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != st.p.Types {
+		return nil
+	}
+	return fn
+}
+
+// walkFunc threads the held-mutex set through one function body in source
+// order and reports ordering violations at the statements that commit them.
+func (st *lockorderState) walkFunc(findings []Finding, fd *ast.FuncDecl) []Finding {
+	held := map[*rankedMutex]bool{}
+	return st.walkStmts(findings, fd.Body.List, held)
+}
+
+// walkStmts processes a statement list sequentially, mutating held as Lock
+// and Unlock calls pass by. Nested control-flow bodies are walked with a
+// copy of the held set: a lock taken inside a branch does not leak into the
+// fall-through path, which keeps the common Lock();...;Unlock() straight-
+// line idiom precise.
+func (st *lockorderState) walkStmts(findings []Finding, stmts []ast.Stmt, held map[*rankedMutex]bool) []Finding {
+	for _, stmt := range stmts {
+		findings = st.walkStmt(findings, stmt, held)
+	}
+	return findings
+}
+
+// walkStmt dispatches one statement.
+func (st *lockorderState) walkStmt(findings []Finding, stmt ast.Stmt, held map[*rankedMutex]bool) []Finding {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return st.checkExpr(findings, s.X, held, true)
+	case *ast.DeferStmt:
+		if m, op := st.lockCall(s.Call); m != nil && (op == "Unlock" || op == "RUnlock") {
+			// defer x.mu.Unlock(): held until return — held stays set for
+			// the remaining statements, which is exactly the truth.
+			return findings
+		}
+		// Other defers (including closures) run at return time with this
+		// held set still in effect only for defer-Unlock idioms we cannot
+		// see; analyze closure bodies in their own context.
+		return st.checkExpr(findings, s.Call, held, false)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			findings = st.checkExpr(findings, rhs, held, true)
+		}
+		for _, lhs := range s.Lhs {
+			findings = st.checkExpr(findings, lhs, held, true)
+		}
+		return findings
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			findings = st.checkExpr(findings, r, held, true)
+		}
+		return findings
+	case *ast.IfStmt:
+		if s.Init != nil {
+			findings = st.walkStmt(findings, s.Init, held)
+		}
+		findings = st.checkExpr(findings, s.Cond, held, true)
+		findings = st.walkStmts(findings, s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			findings = st.walkStmt(findings, s.Else, copyHeld(held))
+		}
+		return findings
+	case *ast.BlockStmt:
+		return st.walkStmts(findings, s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			findings = st.walkStmt(findings, s.Init, held)
+		}
+		if s.Cond != nil {
+			findings = st.checkExpr(findings, s.Cond, held, true)
+		}
+		findings = st.walkStmts(findings, s.Body.List, copyHeld(held))
+		return findings
+	case *ast.RangeStmt:
+		findings = st.checkExpr(findings, s.X, held, true)
+		return st.walkStmts(findings, s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			findings = st.walkStmt(findings, s.Init, held)
+		}
+		if s.Tag != nil {
+			findings = st.checkExpr(findings, s.Tag, held, true)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				findings = st.walkStmts(findings, cc.Body, copyHeld(held))
+			}
+		}
+		return findings
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				findings = st.walkStmts(findings, cc.Body, copyHeld(held))
+			}
+		}
+		return findings
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				findings = st.walkStmts(findings, cc.Body, copyHeld(held))
+			}
+		}
+		return findings
+	case *ast.GoStmt:
+		// The goroutine does not inherit the caller's locks; its closure
+		// body is analyzed in its own (lock-free) context below.
+		return st.checkExpr(findings, s.Call, held, false)
+	case *ast.LabeledStmt:
+		return st.walkStmt(findings, s.Stmt, held)
+	case *ast.IncDecStmt:
+		return st.checkExpr(findings, s.X, held, true)
+	case *ast.SendStmt:
+		findings = st.checkExpr(findings, s.Chan, held, true)
+		return st.checkExpr(findings, s.Value, held, true)
+	default:
+		return findings
+	}
+}
+
+// checkExpr walks an expression in source order: Lock/Unlock calls mutate
+// held, every other call made while holding is checked against its
+// transitive acquisition set, and function literals are analyzed in a fresh
+// context. checkCalls false skips the call check for the outermost call
+// (used for go/defer whose call runs in another context).
+func (st *lockorderState) checkExpr(findings []Finding, expr ast.Expr, held map[*rankedMutex]bool, checkCalls bool) []Finding {
+	outer := expr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			findings = st.walkStmts(findings, x.Body.List, map[*rankedMutex]bool{})
+			return false
+		case *ast.CallExpr:
+			if m, op := st.lockCall(x); m != nil {
+				switch op {
+				case "Lock", "RLock":
+					findings = st.checkAcquire(findings, x.Pos(), m, held, "")
+					held[m] = true
+				case "Unlock", "RUnlock":
+					delete(held, m)
+				}
+				return true
+			}
+			if (!checkCalls && n == outer) || len(held) == 0 {
+				return true
+			}
+			if callee := st.sameePackageCallee(x); callee != nil {
+				for acq := range st.acquire[callee] {
+					findings = st.checkAcquire(findings, x.Pos(), acq, held, callee.Name())
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// checkAcquire reports an ordering violation if acquiring m while holding
+// any same-chain mutex of equal or higher rank. via names the callee that
+// performs the acquisition ("" for a direct Lock call).
+func (st *lockorderState) checkAcquire(findings []Finding, pos token.Pos, m *rankedMutex, held map[*rankedMutex]bool, via string) []Finding {
+	for h := range held {
+		if h.chain != m.chain || m.rank > h.rank {
+			continue
+		}
+		how := fmt.Sprintf("acquires %s", m.label)
+		if via != "" {
+			how = fmt.Sprintf("calls %s, which may acquire %s", via, m.label)
+		}
+		findings = st.p.report(findings, "lockorder", "lockorder-ok", pos,
+			"%s while holding %s (declared order: %s)", how, h.label, st.chainString(m.chain))
+	}
+	return findings
+}
+
+// copyHeld clones the held set for a nested control-flow body.
+func copyHeld(held map[*rankedMutex]bool) map[*rankedMutex]bool {
+	out := make(map[*rankedMutex]bool, len(held))
+	for m := range held {
+		out[m] = true
+	}
+	return out
+}
+
+// chainString renders one chain's declared order for messages.
+func (st *lockorderState) chainString(chain int) string {
+	var labels []string
+	for _, m := range st.ranked {
+		if m.chain == chain {
+			labels = append(labels, m.label)
+		}
+	}
+	return strings.Join(labels, " < ")
+}

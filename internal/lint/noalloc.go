@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoallocAnalyzer enforces the 0 B/op contract on functions whose doc
+// comment carries //scda:noalloc. Inside an annotated function it flags the
+// constructs that defeat the contract:
+//
+//   - function literals that capture enclosing variables (closure → heap)
+//   - calls into package fmt (every fmt call allocates)
+//   - composite literals of map or slice type, and make of map/slice/chan
+//   - append to a slice declared in the function without preallocation
+//   - passing a non-pointer, non-interface value where an interface is
+//     expected (boxing allocates; boxing a pointer does not)
+//
+// The check is per-body: a callee's allocations are the callee's problem,
+// so the annotation travels with each function on the hot path (the
+// AllocsPerRun tests remain the end-to-end proof; this analyzer keeps the
+// contract visible at every edit site in between benchmark runs).
+//
+// Cold paths are exempt where the language makes them unmistakable: any
+// construct inside a panic(...) argument is allowed (e.g.
+// panic(fmt.Sprintf(...))). Anything else deliberate — a pool-growth slow
+// path, an open-coded deferred closure — carries //scda:alloc-ok <reason>.
+func NoallocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "noalloc",
+		Doc:  "flags allocation constructs inside functions annotated //scda:noalloc",
+		Run:  runNoalloc,
+	}
+}
+
+func runNoalloc(p *Package) []Finding {
+	var findings []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if found, _ := funcExemption(fd, "noalloc"); !found {
+				continue
+			}
+			findings = p.noallocFunc(findings, fd)
+		}
+	}
+	return findings
+}
+
+// noallocFunc checks one annotated function body.
+func (p *Package) noallocFunc(findings []Finding, fd *ast.FuncDecl) []Finding {
+	panicArgs := p.panicArgSpans(fd)
+	inPanic := func(n ast.Node) bool {
+		for _, span := range panicArgs {
+			if span.Pos() <= n.Pos() && n.End() <= span.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if inPanic(n) {
+			return false // cold path: panic arguments may allocate
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if name, ok := p.capturesEnclosing(x, fd); ok {
+				findings = p.report(findings, "noalloc", "alloc-ok", x.Pos(),
+					"closure captures %q and may escape to the heap in //scda:noalloc function %s", name, fd.Name.Name)
+			}
+			return false // the literal runs in its own allocation context
+		case *ast.CallExpr:
+			findings = p.noallocCall(findings, fd, x)
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[x]
+			if !ok {
+				break
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				findings = p.report(findings, "noalloc", "alloc-ok", x.Pos(),
+					"map literal allocates in //scda:noalloc function %s", fd.Name.Name)
+			case *types.Slice:
+				findings = p.report(findings, "noalloc", "alloc-ok", x.Pos(),
+					"slice literal allocates in //scda:noalloc function %s", fd.Name.Name)
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// noallocCall checks one call expression inside an annotated body: fmt
+// calls, make of map/slice/chan, un-preallocated append, and interface
+// boxing of non-pointer arguments.
+func (p *Package) noallocCall(findings []Finding, fd *ast.FuncDecl, call *ast.CallExpr) []Finding {
+	// fmt.* — every call formats through reflection and allocates.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if ident, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := p.Info.Uses[ident].(*types.PkgName); ok && pkgName.Imported().Path() == "fmt" {
+				return p.report(findings, "noalloc", "alloc-ok", call.Pos(),
+					"fmt.%s allocates in //scda:noalloc function %s", sel.Sel.Name, fd.Name.Name)
+			}
+		}
+	}
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[ident].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if tv, ok := p.Info.Types[call.Args[0]]; ok {
+						switch tv.Type.Underlying().(type) {
+						case *types.Map, *types.Slice, *types.Chan:
+							return p.report(findings, "noalloc", "alloc-ok", call.Pos(),
+								"make allocates in //scda:noalloc function %s", fd.Name.Name)
+						}
+					}
+				}
+			case "append":
+				if len(call.Args) > 0 && p.unpreallocatedLocal(fd, call.Args[0]) {
+					return p.report(findings, "noalloc", "alloc-ok", call.Pos(),
+						"append to un-preallocated local slice %q grows on the heap in //scda:noalloc function %s",
+						rootIdent(call.Args[0]).Name, fd.Name.Name)
+				}
+			}
+			return findings
+		}
+	}
+	// Interface boxing: a non-pointer concrete value passed where the
+	// callee expects an interface allocates; a pointer boxes for free.
+	if sig := p.callSignature(call); sig != nil {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue // the slice is passed through, no boxing here
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			default:
+				continue
+			}
+			if !types.IsInterface(pt) {
+				continue
+			}
+			at, ok := p.Info.Types[arg]
+			if !ok || at.IsNil() || at.Value != nil {
+				continue // nil and constants: no boxing worth flagging here
+			}
+			switch at.Type.Underlying().(type) {
+			case *types.Pointer, *types.Interface, *types.Signature, *types.Map, *types.Chan, *types.Slice:
+				continue // reference-shaped: boxes without copying the value
+			}
+			findings = p.report(findings, "noalloc", "alloc-ok", arg.Pos(),
+				"passing non-pointer %s as interface %s boxes and may allocate in //scda:noalloc function %s",
+				at.Type.String(), pt.String(), fd.Name.Name)
+		}
+	}
+	return findings
+}
+
+// callSignature resolves the callee's signature, or nil for builtins,
+// conversions and unresolvable expressions.
+func (p *Package) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// capturesEnclosing reports whether the literal references a variable
+// declared in the enclosing function outside the literal itself (receiver
+// and parameters included) — the capture that turns a func value into a
+// heap-allocated closure.
+func (p *Package) capturesEnclosing(lit *ast.FuncLit, fd *ast.FuncDecl) (string, bool) {
+	name, found := "", false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Declared inside the function but outside the literal ⇒ captured.
+		if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() && !(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			name, found = obj.Name(), true
+			return false
+		}
+		return true
+	})
+	return name, found
+}
+
+// unpreallocatedLocal reports whether the append target is a slice variable
+// declared in this function with no backing capacity: `var s []T`, or
+// s := []T{} / s := T(nil). Appends to such a slice reallocate as they
+// grow. Parameters, fields and make()-backed slices are fine.
+func (p *Package) unpreallocatedLocal(fd *ast.FuncDecl, target ast.Expr) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.ObjectOf(id).(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	if obj.Pos() < fd.Body.Pos() || obj.Pos() > fd.Body.End() {
+		return false // parameter, receiver or package-level
+	}
+	bare := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if bare {
+			return false
+		}
+		switch d := n.(type) {
+		case *ast.ValueSpec:
+			for _, dn := range d.Names {
+				if p.Info.Defs[dn] == obj && len(d.Values) == 0 {
+					bare = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range d.Lhs {
+				li, ok := lhs.(*ast.Ident)
+				if !ok || p.Info.Defs[li] != obj || i >= len(d.Rhs) {
+					continue
+				}
+				switch rhs := d.Rhs[i].(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						bare = true
+					}
+				case *ast.Ident:
+					if rhs.Name == "nil" {
+						bare = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return bare
+}
+
+// panicArgSpans collects the argument spans of every panic(...) call in the
+// function: cold paths where allocation is acceptable by construction.
+func (p *Package) panicArgSpans(fd *ast.FuncDecl) []ast.Node {
+	var spans []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				for _, a := range call.Args {
+					spans = append(spans, a)
+				}
+			}
+		}
+		return true
+	})
+	return spans
+}

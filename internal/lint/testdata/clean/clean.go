@@ -1,0 +1,32 @@
+// Package cleanfix is the all-clean fixture: every analyzer must return
+// zero findings for it.
+package cleanfix
+
+import "sort"
+
+// Keys returns m's keys in sorted order — the sanctioned map-iteration
+// idiom (accumulate, then sort).
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total sums integer counts; integer accumulation is exact and commutative.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Add appends into caller-provided storage, honoring its annotation.
+//
+//scda:noalloc
+func Add(dst []int, v int) []int {
+	return append(dst, v)
+}

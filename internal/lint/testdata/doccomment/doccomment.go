@@ -1,0 +1,19 @@
+package doccommentfix // want "package doccommentfix has no package comment"
+
+// Documented has a doc comment and is not reported.
+func Documented() {}
+
+func Naked() {} // want "exported function Naked has no doc comment"
+
+// Gadget is documented.
+type Gadget struct{}
+
+func (Gadget) Twist() {} // want "exported method Twist has no doc comment"
+
+// hidden methods are not godoc surface even with exported names.
+type hidden struct{}
+
+func (hidden) Exported() {}
+
+// use keeps the unexported type referenced.
+var _ = hidden{}

@@ -1,0 +1,7 @@
+package doccommentfix
+
+type Bare struct{}
+
+var Loose = 1
+
+const Knob = 2

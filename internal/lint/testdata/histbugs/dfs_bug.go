@@ -1,0 +1,13 @@
+package histbugs
+
+// Orphans returns the blocks orphaned by a server failure the way the
+// pre-PR 1 DFS did: appended in map iteration order and never sorted, so
+// the re-replication queue — and everything downstream of it — differed
+// run to run.
+func Orphans(replicas map[string][]int) []int {
+	var orphaned []int
+	for _, blocks := range replicas {
+		orphaned = append(orphaned, blocks...) // want `append to "orphaned" inside range over map`
+	}
+	return orphaned
+}

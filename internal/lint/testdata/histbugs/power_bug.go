@@ -1,0 +1,12 @@
+package histbugs
+
+// Energy totals per-server power draw the way the pre-PR 1 power model
+// did: the map iteration order perturbed the floating-point energy total,
+// so same-seed runs reported different joules.
+func Energy(draw map[string]float64, dt float64) float64 {
+	total := 0.0
+	for _, w := range draw {
+		total += w * dt // want "float accumulation inside range over map"
+	}
+	return total
+}

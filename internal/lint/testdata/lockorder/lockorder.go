@@ -1,0 +1,87 @@
+// Package lockorderfix seeds lockorder violations for the fixture test:
+// direct inversions, an inversion hidden behind a helper, a same-rank
+// nesting, and the sanctioned idioms around them.
+//
+//scda:lockorder Outer.mu Inner.mu
+package lockorderfix
+
+import "sync"
+
+// Outer owns the rank-0 mutex of the declared chain.
+type Outer struct {
+	mu    sync.Mutex
+	inner *Inner
+}
+
+// Inner owns the rank-1 mutex of the declared chain.
+type Inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump takes only the inner lock.
+func (i *Inner) Bump() {
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+}
+
+// Fine nests in the declared order: Outer.mu, then Inner.mu via Bump.
+func (o *Outer) Fine() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.Bump()
+}
+
+// Renege acquires Outer.mu while holding Inner.mu — a direct inversion.
+func (i *Inner) Renege(o *Outer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	o.mu.Lock() // want "acquires Outer.mu while holding Inner.mu"
+	o.mu.Unlock()
+}
+
+// Sneaky commits the same inversion two calls deep.
+func (i *Inner) Sneaky(o *Outer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	poke(o) // want "calls poke, which may acquire Outer.mu while holding Inner.mu"
+}
+
+func poke(o *Outer) {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// SameRank nests two Inner mutexes — same rank, still a deadlock.
+func (i *Inner) SameRank(j *Inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	j.mu.Lock() // want "acquires Inner.mu while holding Inner.mu"
+	j.mu.Unlock()
+}
+
+// Sanctioned inverts deliberately under a reasoned escape hatch.
+func (i *Inner) Sanctioned(o *Outer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	//scda:lockorder-ok fixture: o is freshly constructed and unshared here
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// Detached spawns a goroutine: it does not inherit the caller's locks, so
+// the acquisition inside the closure is clean.
+func (i *Inner) Detached(o *Outer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	go func() {
+		o.mu.Lock()
+		o.mu.Unlock()
+	}()
+}
+
+// The malformed directive below exercises directive validation.
+
+// want "has no field"
+//scda:lockorder Inner.gone Outer.mu

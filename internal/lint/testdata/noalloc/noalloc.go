@@ -1,0 +1,55 @@
+// Package noallocfix seeds noalloc violations for the fixture test: one
+// annotated function tripping every rule, plus annotated-and-clean
+// functions exercising the panic and escape-hatch exemptions.
+package noallocfix
+
+import "fmt"
+
+// Sink is a package-level escape target.
+var Sink any
+
+// TakeAny accepts any value, forcing interface boxing at call sites.
+func TakeAny(v any) { Sink = v }
+
+// Hot is annotated and violates every noalloc rule.
+//
+//scda:noalloc
+func Hot(xs []int, n int) int {
+	f := func() int { return n } // want `closure captures "n"`
+	fmt.Println(n)               // want "fmt.Println allocates"
+	m := map[int]int{}           // want "map literal allocates"
+	s := []int{}                 // want "slice literal allocates"
+	b := make([]byte, n)         // want "make allocates"
+	var acc []int
+	acc = append(acc, n) // want `append to un-preallocated local slice "acc"`
+	TakeAny(n)           // want "passing non-pointer int as interface"
+	_, _, _, _, _ = f, m, s, b, acc
+	return len(xs)
+}
+
+// Warm is annotated and clean: parameter-backed append, and the panic
+// argument is a cold path where allocation is acceptable by construction.
+//
+//scda:noalloc
+func Warm(buf []int, v int) []int {
+	if len(buf) == cap(buf) {
+		panic(fmt.Sprintf("noallocfix: buffer full at %d", v))
+	}
+	return append(buf, v)
+}
+
+// Spawn is annotated; its capture is deliberate and carries a reason.
+//
+//scda:noalloc
+func Spawn(n int) func() int {
+	//scda:alloc-ok fixture: the closure is constructed once at setup
+	return func() int { return n }
+}
+
+// Bare carries a reasonless alloc-ok, which is itself a finding.
+//
+//scda:noalloc
+func Bare(n int) func() int {
+	//scda:alloc-ok
+	return func() int { return n } // want "directive has no reason"
+}

@@ -1,0 +1,46 @@
+// Package wallclockfix seeds wallclock violations for the fixture test.
+// It is loaded under a synthetic repro/internal/... import path so the
+// deterministic-package contract applies.
+package wallclockfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Epoch shows that explicit-timestamp construction stays legal.
+var Epoch = time.Unix(0, 0)
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Jitter draws from the global math/rand stream.
+func Jitter() float64 {
+	return rand.Float64() // want "rand.Float64 uses the global math/rand stream"
+}
+
+// Elapsed measures and then sleeps — two separate reads of real time.
+func Elapsed(t0 time.Time) time.Duration {
+	d := time.Since(t0) // want "time.Since reads the wall clock"
+	time.Sleep(d)       // want "time.Sleep reads the wall clock"
+	return d
+}
+
+// Seeded builds an explicit generator — rand.New* is always legal.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Exempted reads the clock under a reasoned escape hatch.
+func Exempted() time.Time {
+	//scda:wallclock-ok fixture: deliberate real-time read
+	return time.Now()
+}
+
+// NoReason carries a reasonless directive, which is itself a finding.
+func NoReason() time.Time {
+	//scda:wallclock-ok
+	return time.Now() // want "directive has no reason"
+}

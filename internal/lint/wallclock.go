@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// forbiddenTimeFuncs are the package time functions that read or react to
+// the wall clock. time.Duration arithmetic, time.Unix construction and
+// parsing/formatting of explicit timestamps remain legal — only reads of
+// "now" (and timers derived from it) break determinism.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true, "Sleep": true,
+}
+
+// nondeterministicPkgs lists the module packages exempt from the wallclock
+// contract: the service edge and its harnesses schedule real timeouts,
+// probers and backoffs by design. Everything else under internal/ is a
+// deterministic decision path — simulation engines, scenario compilation,
+// search, placement — where a wall-clock read (or the global math/rand
+// stream) silently breaks the byte-identical-replay contract.
+var nondeterministicPkgs = map[string]bool{
+	"repro/internal/service":             true,
+	"repro/internal/service/client":      true,
+	"repro/internal/service/servicetest": true,
+}
+
+// deterministicPkg reports whether the wallclock contract applies to the
+// import path.
+func deterministicPkg(path string) bool {
+	if !strings.HasPrefix(path, "repro/internal/") {
+		return false
+	}
+	return !nondeterministicPkgs[path]
+}
+
+// WallclockAnalyzer forbids wall-clock reads (time.Now, time.Since,
+// time.After, timers, time.Sleep) and the global math/rand stream in the
+// deterministic packages. Exempt a deliberate site — a service timeout, an
+// EWMA prober — with //scda:wallclock-ok <reason>.
+func WallclockAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbids time.Now/timers/global math/rand in deterministic packages",
+		Run:  runWallclock,
+	}
+}
+
+func runWallclock(p *Package) []Finding {
+	if !deterministicPkg(p.Path) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := p.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if forbiddenTimeFuncs[sel.Sel.Name] {
+					findings = p.report(findings, "wallclock", "wallclock-ok", sel.Pos(),
+						"time.%s reads the wall clock in deterministic package %s", sel.Sel.Name, p.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				obj := p.Info.Uses[sel.Sel]
+				if _, isFunc := obj.(*types.Func); isFunc && !strings.HasPrefix(sel.Sel.Name, "New") {
+					findings = p.report(findings, "wallclock", "wallclock-ok", sel.Pos(),
+						"rand.%s uses the global math/rand stream in deterministic package %s (seed an explicit rand.New or sim.RNG instead)", sel.Sel.Name, p.Path)
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}

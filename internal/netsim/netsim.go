@@ -106,8 +106,10 @@ type ring struct {
 	n    int
 }
 
+//scda:noalloc
 func (r *ring) at(i int) *pktRef { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
 
+//scda:noalloc steady state: grow is amortized pool growth in the callee
 func (r *ring) push(v pktRef) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -131,6 +133,8 @@ func (r *ring) grow() {
 
 // removeAt deletes and returns entry i, shifting whichever side is
 // shorter.
+//
+//scda:noalloc
 func (r *ring) removeAt(i int) pktRef {
 	v := *r.at(i)
 	if i < r.n-1-i {
@@ -258,6 +262,8 @@ func New(s *sim.Simulator, g *topology.Graph, cfg Config) *Network {
 
 // NewPacket returns a zeroed packet, reusing one the network has finished
 // with when possible.
+//
+//scda:noalloc warm path: a drained pool falls back to one pooled &Packet{}
 func (n *Network) NewPacket() *Packet {
 	if k := len(n.free); k > 0 {
 		p := n.free[k-1]
@@ -269,6 +275,8 @@ func (n *Network) NewPacket() *Packet {
 }
 
 // recycle zeroes a finished packet and returns it to the pool.
+//
+//scda:noalloc steady state: the pool append is amortized growth
 func (n *Network) recycle(p *Packet) {
 	*p = Packet{}
 	n.free = append(n.free, p)
@@ -284,6 +292,8 @@ func (n *Network) Listen(node topology.NodeID, h Handler) {
 // hop to pkt.Dst; delivery invokes the destination's handler. Packets to
 // unreachable destinations are dropped silently (counted in TotalDrops).
 // The network owns the packet from this point on (see Packet).
+//
+//scda:noalloc guarded by TestForwardDeliverIsAllocationFree
 func (n *Network) Send(pkt *Packet) {
 	if pkt.Size <= 0 {
 		panic(fmt.Sprintf("netsim: packet with size %d", pkt.Size))
@@ -291,6 +301,10 @@ func (n *Network) Send(pkt *Packet) {
 	n.forward(pkt.Src, pkt)
 }
 
+// forward routes a packet one hop: deliver at the destination, else pick
+// the ECMP next link and enqueue.
+//
+//scda:noalloc
 func (n *Network) forward(at topology.NodeID, pkt *Packet) {
 	if at == pkt.Dst {
 		n.deliver(pkt)
@@ -305,6 +319,9 @@ func (n *Network) forward(at topology.NodeID, pkt *Packet) {
 	n.enqueue(n.links[lid], pkt)
 }
 
+// deliver hands a packet to its destination's handler and recycles it.
+//
+//scda:noalloc
 func (n *Network) deliver(pkt *Packet) {
 	n.Delivered++
 	if n.OnDeliver != nil {
@@ -316,6 +333,10 @@ func (n *Network) deliver(pkt *Packet) {
 	n.recycle(pkt)
 }
 
+// enqueue applies drop-tail admission, updates the SJF flow counters, and
+// starts transmission if the port is idle.
+//
+//scda:noalloc steady state: the SJF flow-index insert is one-time per flow
 func (n *Network) enqueue(ls *linkState, pkt *Packet) {
 	ls.stats.ArrivedBytes += int64(pkt.Size)
 	ls.stats.Packets++
@@ -347,6 +368,8 @@ func (n *Network) enqueue(ls *linkState, pkt *Packet) {
 // pickNext chooses which queued packet to transmit next per the
 // discipline: head-of-line for FIFO, the earliest-queued packet of the
 // flow with the fewest cumulative packets through this port for SJF.
+//
+//scda:noalloc
 func (ls *linkState) pickNext() int {
 	if !ls.sjf || ls.q.n == 1 {
 		return 0
@@ -361,6 +384,10 @@ func (ls *linkState) pickNext() int {
 	return best
 }
 
+// startTx puts the chosen queued packet on the wire and schedules its two
+// hop events through the pre-built callbacks.
+//
+//scda:noalloc
 func (n *Network) startTx(ls *linkState) {
 	ref := ls.q.removeAt(ls.pickNext())
 	pkt := ref.pkt

@@ -134,6 +134,7 @@ func (p *Prober) Snapshot() []PeerHealth {
 		if peer == p.self {
 			h.Up, h.Score = true, 1.0
 		}
+		//scda:maprange-ok sortHealth below restores ring order (alloc-free insertion sort, not sort.Slice)
 		out = append(out, h)
 	}
 	sortHealth(out)
@@ -156,6 +157,7 @@ func (p *Prober) Start(interval time.Duration) {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		//scda:wallclock-ok the EWMA health prober is real-time by design; placement itself stays deterministic
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {

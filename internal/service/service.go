@@ -137,6 +137,14 @@ type Config struct {
 	ProbeInterval time.Duration
 }
 
+// The service's documented mutex hierarchy, enforced statically by the
+// scda-lint lockorder analyzer: Submit completes a cache-hit job while
+// holding s.mu (s.mu → j.mu), and a job event fans out to its group while
+// j.mu is held (j.mu → g.mu) — so no method may acquire s.mu while holding
+// j.mu, or touch a Job or the Service while holding g.mu.
+//
+//scda:lockorder Service.mu Job.mu JobGroup.mu
+
 // Service is the resident simulation service. Create with New, expose
 // with Handler, stop with Close.
 type Service struct {

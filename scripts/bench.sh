@@ -18,6 +18,9 @@
 # converging purely from cached evaluations), and
 # BenchmarkServiceSubmitShed the admission-control rejection fast path (a
 # server pinned into overload answering 429 before reading the body);
+# BenchmarkLintSelf tracks the static-analysis suite's cost per package
+# (parse + type-check + all five analyzers over internal/lint itself), so
+# the CI lint step's budget stays visible;
 # BenchmarkAllFiguresSerial is the end-to-end figure suite at bench scale.
 # Compare a fresh run against the committed JSON: ns/op regressions > ~20%
 # or any B/op growth on the 0-alloc benchmarks deserve a look before
@@ -30,8 +33,8 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkChurn|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached|BenchmarkServiceSearchCached|BenchmarkServiceSubmitShed' \
-    -benchmem ./internal/sim ./internal/flowsim ./internal/netsim ./internal/service | tee "$tmp"
+    -bench 'BenchmarkEventLoop|BenchmarkMaxMinRates|BenchmarkChurn|BenchmarkPacketForwarding|BenchmarkFluid1000Flows|BenchmarkServiceSubmitCached|BenchmarkServiceGroupSubmitCached|BenchmarkServiceSearchCached|BenchmarkServiceSubmitShed|BenchmarkLintSelf' \
+    -benchmem ./internal/sim ./internal/flowsim ./internal/netsim ./internal/service ./internal/lint | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkAllFiguresSerial' -benchtime=1x -benchmem . | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go env GOVERSION)" '

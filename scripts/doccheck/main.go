@@ -4,190 +4,42 @@
 //
 //	go run ./scripts/doccheck ./internal/... ./cmd/...
 //
-// It walks the named packages (Go "..." patterns resolved against the
-// module root) and reports every package missing a package comment and
-// every exported package-level declaration — funcs, methods with exported
-// receivers, types, consts, vars — missing a doc comment. CI runs it so
-// the godoc surface cannot rot as packages grow. No output and exit 0
-// means clean; findings print as file:line lines and exit 1.
+// It is a thin compatibility shim over the scda-lint doccomment analyzer
+// (internal/lint): the AST gate that started life here is now one analyzer
+// of the five-analyzer suite, and `go run ./cmd/scda-lint ./...` is the
+// single linting entry point. The shim keeps the historical contract: no
+// output and exit 0 means clean; findings print as file:line lines and
+// exit 1; load errors exit 2.
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"repro/internal/lint"
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
-	dirs, err := resolveDirs(args)
+	loader, err := lint.NewLoader(".")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 		os.Exit(2)
 	}
-	var findings []string
-	for _, dir := range dirs {
-		fs, err := checkDir(dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
-			os.Exit(2)
-		}
-		findings = append(findings, fs...)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
 	}
+	findings := lint.Run(pkgs, []*lint.Analyzer{lint.DoccommentAnalyzer()})
 	for _, f := range findings {
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) missing doc comments\n", len(findings))
 		os.Exit(1)
-	}
-}
-
-// resolveDirs expands "./pkg/..." patterns into the directories that
-// contain .go files.
-func resolveDirs(patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var dirs []string
-	add := func(dir string) {
-		if !seen[dir] {
-			seen[dir] = true
-			dirs = append(dirs, dir)
-		}
-	}
-	for _, p := range patterns {
-		if !strings.HasSuffix(p, "/...") {
-			add(filepath.Clean(p))
-			continue
-		}
-		root := filepath.Clean(strings.TrimSuffix(p, "/..."))
-		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() {
-				if name := d.Name(); name != root && (strings.HasPrefix(name, ".") || name == "testdata") {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			if strings.HasSuffix(path, ".go") {
-				add(filepath.Dir(path))
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(dirs)
-	return dirs, nil
-}
-
-// checkDir parses one directory's non-test files and returns findings.
-func checkDir(dir string) ([]string, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	var findings []string
-	report := func(pos token.Pos, format string, args ...any) {
-		p := fset.Position(pos)
-		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
-	}
-	for _, pkg := range pkgs {
-		hasPkgDoc := false
-		for _, file := range pkg.Files {
-			if file.Doc != nil {
-				hasPkgDoc = true
-			}
-		}
-		if !hasPkgDoc {
-			// attribute the miss to the package's first file, sorted for
-			// stable output
-			names := make([]string, 0, len(pkg.Files))
-			for name := range pkg.Files {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			report(pkg.Files[names[0]].Package, "package %s has no package comment", pkg.Name)
-		}
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				checkDecl(decl, report)
-			}
-		}
-	}
-	sort.Strings(findings)
-	return findings, nil
-}
-
-// checkDecl reports exported names in one top-level declaration that have
-// no doc comment.
-func checkDecl(decl ast.Decl, report func(token.Pos, string, ...any)) {
-	switch d := decl.(type) {
-	case *ast.FuncDecl:
-		if !d.Name.IsExported() || d.Doc != nil {
-			return
-		}
-		if d.Recv != nil && !receiverExported(d.Recv) {
-			return // method on an unexported type: not godoc surface
-		}
-		kind := "function"
-		if d.Recv != nil {
-			kind = "method"
-		}
-		report(d.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
-	case *ast.GenDecl:
-		for _, spec := range d.Specs {
-			switch s := spec.(type) {
-			case *ast.TypeSpec:
-				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
-					report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
-				}
-			case *ast.ValueSpec:
-				for _, name := range s.Names {
-					// a doc on the grouped decl ("// Output kinds: ...")
-					// or on the spec or an inline comment all count
-					if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
-						report(name.Pos(), "exported value %s has no doc comment", name.Name)
-					}
-				}
-			}
-		}
-	}
-}
-
-// receiverExported reports whether a method's receiver base type is
-// exported.
-func receiverExported(recv *ast.FieldList) bool {
-	if len(recv.List) == 0 {
-		return false
-	}
-	t := recv.List[0].Type
-	for {
-		switch tt := t.(type) {
-		case *ast.StarExpr:
-			t = tt.X
-		case *ast.IndexExpr: // generic receiver T[P]
-			t = tt.X
-		case *ast.IndexListExpr:
-			t = tt.X
-		case *ast.Ident:
-			return tt.IsExported()
-		default:
-			return false
-		}
 	}
 }
